@@ -1,0 +1,17 @@
+"""Extension: 3D-FFT communication volume vs grid aspect ratio.
+
+Asserted shape: the S1CF resort signature (2 reads : 1 write) is
+invariant across decompositions, while the All2All volume depends on
+the grid shape (degenerate 1xP / Px1 grids drop one exchange).
+"""
+
+import pytest
+
+
+def test_ext_gridshape(run_once):
+    result = run_once("ext-gridshape", n=1024)
+    per = result.extras["per_shape"]
+    for shape, data in per.items():
+        assert data["s1cf_ratio"] == pytest.approx(2.0, abs=0.1), shape
+    assert per[(2, 4)]["net_bytes"] > per[(1, 8)]["net_bytes"]
+    assert per[(2, 4)]["net_bytes"] > per[(8, 1)]["net_bytes"]

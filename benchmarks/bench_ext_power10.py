@@ -1,0 +1,24 @@
+"""Extension: the measurement methodology on a POWER10-class machine.
+
+The paper's future work. Asserted shape: the Eq. 3/4 divergence band
+tracks the larger per-core L3 (8 MB -> N in [591, 1024]); batched GEMM
+stays exact below the new boundary and jumps past it — one boundary
+step later than on Summit.
+"""
+
+import pytest
+
+
+def test_ext_power10(run_once):
+    result = run_once("ext-power10")
+    lo, hi = result.extras["band"]
+    assert lo == pytest.approx(591, abs=2)
+    assert hi == pytest.approx(1024, abs=2)
+    batched = result.extras["batched"]
+    # Clean below the new boundary (the band's lower edge moved from
+    # 467 to 591, so 512 now sits comfortably inside the cached regime).
+    assert batched[512] == pytest.approx(1.0, abs=0.05)
+    assert batched[720] == pytest.approx(1.0, abs=0.05)
+    # The drastic jump begins at the new 8 MB boundary (N ~ 1024).
+    assert batched[1024] > 50
+    assert batched[2048] > 100

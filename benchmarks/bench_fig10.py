@@ -1,0 +1,19 @@
+"""Fig 10: S1CF/S2CF in a 16-node, 4x8-grid job at N = 1344 and 2016.
+
+Shape asserted: 2 reads per write in S1CF, 1 read per write in S2CF,
+tight min/max bands across ranks and runs (large problems measure
+cleanly with a single run, as the paper notes).
+"""
+
+import pytest
+
+
+def test_fig10(run_once):
+    result = run_once("fig10", n_runs=2)
+    per = result.extras["per_routine"]
+    for n in (1344, 2016):
+        assert per["s1cf"][n]["ratio"] == pytest.approx(2.0, abs=0.1)
+        assert per["s2cf"][n]["ratio"] == pytest.approx(1.0, abs=0.1)
+        # Band tightness at scale: min/max within ~15%.
+        reads = per["s1cf"][n]["reads"]
+        assert max(reads) < 1.2 * min(reads)

@@ -1,0 +1,45 @@
+"""Fig 11: multi-component profile of one GPU 3D-FFT rank.
+
+Shape asserted: every phase of the pipeline is uniquely identifiable
+from its (memory R/W, GPU power, network) signature — the paper's
+headline multi-component demonstration.
+"""
+
+import pytest
+
+
+def test_fig11(run_once):
+    result = run_once("fig11", n=2016, slices_per_phase=3)
+    totals = result.extras["phase_totals"]
+    # 1st/3rd resorts: ~2 reads per write.
+    for phase in ("s1cf", "s1pf"):
+        ratio = totals[phase]["read_bytes"] / totals[phase]["write_bytes"]
+        assert ratio == pytest.approx(2.0, abs=0.2), phase
+    # 2nd/4th resorts: ~1:1 and faster than the 1st/3rd.
+    for phase in ("s2cf", "s2pf"):
+        ratio = totals[phase]["read_bytes"] / totals[phase]["write_bytes"]
+        assert ratio == pytest.approx(1.0, abs=0.2), phase
+    s1_bw = (totals["s1cf"]["read_bytes"] + totals["s1cf"]["write_bytes"]) \
+        / totals["s1cf"]["seconds"]
+    s2_bw = (totals["s2cf"]["read_bytes"] + totals["s2cf"]["write_bytes"]) \
+        / totals["s2cf"]["seconds"]
+    assert s2_bw > s1_bw  # "higher bandwidth due to better locality"
+    # Network jumps only in the two All2Alls.
+    for name, agg in totals.items():
+        if name.startswith("all2all"):
+            assert agg["net_recv_bytes"] > 0, name
+        else:
+            assert agg["net_recv_bytes"] == 0, name
+    # GPU power spikes sit in the FFT phases: the kernel sub-step hits
+    # near-peak power, while resort phases idle at the baseline.
+    timeline = result.extras["timeline"]
+    fft_peak = max(s.gpu_power_w for s in timeline.phase("fft-y"))
+    resort_peak = max(s.gpu_power_w for s in timeline.phase("s2cf"))
+    assert fft_peak > 250
+    assert resort_peak < 50
+    # ... and the spike sits between a read burst and a write burst.
+    fft_samples = timeline.phase("fft-z")[:3]
+    h2d, kernel, d2h = fft_samples
+    assert h2d.mem_read_rate > 10 * h2d.mem_write_rate
+    assert kernel.gpu_power_w > 250
+    assert d2h.mem_write_rate > 10 * d2h.mem_read_rate

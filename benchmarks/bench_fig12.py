@@ -1,0 +1,25 @@
+"""Fig 12: multi-component profile of one QMCPACK rank.
+
+Shape asserted: the three stages (VMC no-drift, VMC drift, DMC) are
+distinguishable — rising GPU power plateaus, growing traffic, and
+walker-exchange network activity exclusive to DMC — and the underlying
+physics is sound (energies near the exact ground state).
+"""
+
+import pytest
+
+
+def test_fig12(run_once):
+    result = run_once("fig12", n_nodes=2)
+    totals = result.extras["phase_totals"]
+    power = {name: agg["gpu_energy_j"] / agg["seconds"]
+             for name, agg in totals.items()}
+    assert power["vmc-nodrift"] < power["vmc-drift"] < power["dmc"]
+    # DMC is the only phase with walker-exchange network traffic.
+    assert totals["dmc"]["net_recv_bytes"] > 0
+    assert totals["vmc-nodrift"]["net_recv_bytes"] == 0
+    assert totals["vmc-drift"]["net_recv_bytes"] == 0
+    # Physics: all three stages sample near the exact energy.
+    exact = result.extras["exact_energy"]
+    for phase, energy in result.extras["energies"].items():
+        assert energy == pytest.approx(exact, abs=0.2), phase

@@ -1,0 +1,24 @@
+"""Fig 2: single-threaded GEMM with one repetition (PCP vs uncore).
+
+Shape asserted: small problems are noise-dominated, large cached
+problems drift above the expectation, on BOTH measurement paths — and
+the divergence band lands at the paper's N in [467, 809].
+"""
+
+import pytest
+
+
+def test_fig2(run_once):
+    result = run_once("fig2")
+    lo, hi = result.extras["band"]
+    assert lo == pytest.approx(467, abs=1)
+    assert hi == pytest.approx(809, abs=1)
+    for rows in (result.extras["summit"], result.extras["tellico"]):
+        by_n = {r[0]: r for r in rows}
+        smallest = min(by_n)
+        largest = max(by_n)
+        # Noise floor at the small end.
+        assert abs(by_n[smallest][7] - 1.0) > 0.5
+        # Divergence at the large end (single thread, still cached or
+        # beyond — either way measured exceeds the expectation).
+        assert by_n[largest][7] > 1.5

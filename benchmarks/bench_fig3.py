@@ -1,0 +1,29 @@
+"""Fig 3: GEMM with adaptive repetitions (Eq. 5) on Summit via PCP.
+
+Shape asserted: (a) single-thread measurements are clean at small N
+(repetitions amortise the noise) and diverge gradually with NO jump at
+the per-core 5 MB boundary (idle-slice re-appropriation); (b) batched
+runs match expectation below N≈809 and jump drastically above.
+"""
+
+import pytest
+
+
+def test_fig3(run_once):
+    result = run_once("fig3")
+    single = {r[0]: r[7] for r in result.extras["single"]}
+    batched = {r[0]: r[7] for r in result.extras["batched"]}
+    sizes = sorted(single)
+    below = [n for n in sizes if n <= 720]
+    # (a) small sizes cleaned up by repetitions.
+    assert abs(single[below[0]] - 1.0) < 1.5
+    # (a) gradual divergence while still inside the 110 MB budget: each
+    # step grows by at most an order of magnitude (no drastic jump).
+    inside = [n for n in sizes if 720 <= n <= 2048]
+    assert all(single[n] > 1.2 for n in inside[1:])
+    assert all(single[b] < 10 * single[a]
+               for a, b in zip(inside, inside[1:]))
+    # (b) batched: clean below the boundary, drastic jump above.
+    assert all(abs(batched[n] - 1.0) < 0.1 for n in below[2:])
+    above = [n for n in sizes if n >= 1024]
+    assert all(batched[n] > 50 for n in above)

@@ -1,0 +1,27 @@
+"""Fig 5: batched capped GEMV (PCP on Summit vs uncore on Tellico).
+
+Shape asserted: reads track the expectation through the square→capped
+transition at M = 1280; writes exceed expectation and settle only past
+M ≈ 1e4; both panels behave the same (not a PCP artifact).
+"""
+
+import pytest
+
+
+def test_fig5(run_once):
+    result = run_once("fig5")
+    for panel in ("summit", "tellico"):
+        rows = result.extras[panel]
+        by_m = {r[0]: r for r in rows}
+        # Reads match throughout.
+        for m, row in by_m.items():
+            assert row[8] == pytest.approx(1.0, abs=0.35), (panel, m)
+        # Write convergence only past ~1e4.
+        small = [m for m in by_m if m <= 1280]
+        large = [m for m in by_m if m >= 65536]
+        assert all(by_m[m][9] > 1.5 for m in small)
+        assert all(by_m[m][9] < 1.25 for m in large)
+        # Regime transition at exactly 1280.
+        assert by_m[1280][2] == "square"
+        assert min(m for m in by_m if m > 1280) and \
+            by_m[min(m for m in by_m if m > 1280)][2] == "capped"

@@ -1,0 +1,19 @@
+"""Fig 6: S1CF loop nest 1 — cache-bypassing sequential stores.
+
+Shape asserted: ~1 read per element without flags (the expected second
+read is absent: stores bypass), ~2 reads with -fprefetch-loop-arrays.
+"""
+
+import pytest
+
+
+def test_fig6(run_once):
+    result = run_once("fig6")
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    stable = [n for n in plain if n >= 768]
+    for n in stable:
+        assert plain[n][2] == pytest.approx(1.0, abs=0.15), n
+        assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
+        assert flagged[n][2] == pytest.approx(2.0, abs=0.25), n
+        assert flagged[n][4] == pytest.approx(1.0, abs=0.15), n

@@ -1,0 +1,24 @@
+"""Fig 7: S1CF loop nest 2 — strided reads and Eq. 7's boundary.
+
+Shape asserted: reads per element ramp from 2 (below N≈724) to 5
+(above), writes stay at 1; the prefetch flag substantially raises the
+achieved bandwidth without changing the asymptotic traffic shape.
+"""
+
+import pytest
+
+
+def test_fig7(run_once):
+    result = run_once("fig7")
+    assert result.extras["eq7_boundary"] == pytest.approx(724, abs=1)
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    below = [n for n in plain if 384 <= n <= 640]
+    above = [n for n in plain if n >= 896]
+    for n in below:
+        assert plain[n][2] == pytest.approx(2.0, abs=0.4), n
+    for n in above:
+        assert plain[n][2] == pytest.approx(5.0, abs=0.4), n
+        assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
+        # "significant improvement in performance" with the flag:
+        assert flagged[n][8] > 2 * plain[n][8], n

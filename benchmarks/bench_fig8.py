@@ -1,0 +1,17 @@
+"""Fig 8: S1CF as one combined loop nest.
+
+Shape asserted: exactly 2 reads and 1 write per element at every
+stable size — "precisely what we observe" in the paper.
+"""
+
+import pytest
+
+
+def test_fig8(run_once):
+    result = run_once("fig8")
+    for row in result.extras["plain"]:
+        n = row[0]
+        if n < 512:
+            continue  # smallest sizes are noise-dominated by design
+        assert row[2] == pytest.approx(2.0, abs=0.25), n
+        assert row[4] == pytest.approx(1.0, abs=0.15), n

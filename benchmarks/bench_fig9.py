@@ -1,0 +1,18 @@
+"""Fig 9: S2CF — the amortised stride.
+
+Shape asserted: 1 read : 1 write without flags (stores bypass), 2 : 1
+with -fprefetch-loop-arrays, and higher bandwidth than S1CF loop
+nest 2 thanks to locality.
+"""
+
+import pytest
+
+
+def test_fig9(run_once):
+    result = run_once("fig9")
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    for n in (768, 1024, 1280):
+        assert plain[n][2] == pytest.approx(1.0, abs=0.15), n
+        assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
+        assert flagged[n][2] == pytest.approx(2.0, abs=0.25), n

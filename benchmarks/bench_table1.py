@@ -1,0 +1,9 @@
+"""Table I: architectures and performance events."""
+
+
+def test_table1(run_once):
+    result = run_once("table1")
+    assert len(result.extras["summit_events"]) == 32
+    assert len(result.extras["tellico_events"]) == 32
+    assert not result.extras["summit_uncore_available"]
+    assert result.extras["tellico_uncore_available"]

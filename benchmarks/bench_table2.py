@@ -1,0 +1,7 @@
+"""Table II: supplemental performance events (NVML, InfiniBand)."""
+
+
+def test_table2(run_once):
+    result = run_once("table2")
+    assert any(":power" in e for e in result.extras["nvml_events"])
+    assert any("port_recv_data" in e for e in result.extras["ib_events"])

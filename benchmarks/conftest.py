@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table/figure via the experiment
+registry, prints the rows (so `pytest benchmarks/ --benchmark-only -s`
+reproduces the paper's evaluation verbatim), and asserts the
+qualitative shape. `run_once` wraps pytest-benchmark's pedantic mode:
+experiments are deterministic, so a single timed round suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 20230613
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time one deterministic execution of an experiment and print it."""
+
+    def _run(experiment_id: str, **kwargs):
+        kwargs.setdefault("seed", SEED)
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **kwargs),
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

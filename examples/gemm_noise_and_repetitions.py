@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The paper's core methodology story (Figs 2-4) in one script.
+
+Sweeps GEMM problem sizes three ways on the simulated machines:
+
+* one repetition, single thread  -> noise-dominated small sizes;
+* adaptive repetitions (Eq. 5)   -> clean small sizes, but gradual
+  divergence at large N (a lone core re-appropriates idle L3 slices,
+  and remote-slice spill costs extra memory traffic);
+* batched (one GEMM per core)    -> expectations hold exactly until
+  each core's 5 MB share is exceeded, then traffic jumps drastically;
+
+and shows the PCP path (Summit) agrees with the direct perf_uncore
+path (Tellico) — the paper's accuracy claim.
+
+Run:  python examples/gemm_noise_and_repetitions.py
+"""
+
+from repro.kernels import Gemm
+from repro.measure import (
+    MeasurementSession,
+    format_table,
+    gemm_divergence_band,
+    repetitions_for,
+)
+from repro.units import MIB
+
+SIZES = (64, 128, 256, 512, 720, 1024, 1448, 2048)
+
+
+def sweep(session, batched, adaptive):
+    rows = []
+    cores = session.batch_core_count() if batched else 1
+    for n in SIZES:
+        reps = repetitions_for(n) if adaptive else 1
+        r = session.measure_kernel(Gemm(n), n_cores=cores, repetitions=reps)
+        rows.append([n, cores, reps, round(r.read_ratio, 3),
+                     round(r.write_ratio, 3)])
+    return rows
+
+
+def main():
+    band = gemm_divergence_band(5 * MIB)
+    print(f"Expected divergence band (Eqs. 3-4): "
+          f"N in [{band.lower:.0f}, {band.upper:.0f}]\n")
+    summit = MeasurementSession("summit", via="pcp", seed=7)
+    tellico = MeasurementSession("tellico", via="perf_event_uncore", seed=7)
+
+    headers = ["N", "cores", "reps", "read ratio", "write ratio"]
+    print(format_table(headers, sweep(summit, False, False),
+                       title="(Fig 2a) Summit/PCP — 1 repetition, 1 thread"))
+    print()
+    print(format_table(headers, sweep(summit, False, True),
+                       title="(Fig 3a) Summit/PCP — Eq. 5 repetitions, "
+                             "1 thread"))
+    print()
+    print(format_table(headers, sweep(summit, True, True),
+                       title="(Fig 3b) Summit/PCP — batched "
+                             "(per-core 5 MB shares)"))
+    print()
+    print(format_table(headers, sweep(tellico, True, True),
+                       title="(Fig 4b) Tellico/perf_uncore — batched "
+                             "(no PCP in the loop)"))
+    print("\nTakeaway: ratios behave identically through PCP and direct "
+          "counters;\nrepetitions amortise noise; batching pins each core "
+          "to its slice.")
+
+
+if __name__ == "__main__":
+    main()

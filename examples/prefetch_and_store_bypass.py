@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Micro-architecture story of §IV: cache-bypassing stores, strided
+amplification, and what one GCC flag does about it (Figs 6-9).
+
+Runs the four S1CF/S2CF variants at a stable size on a simulated
+Summit socket, with and without ``-fprefetch-loop-arrays``, and prints
+reads/writes *per element* so the mechanisms are visible at a glance:
+
+=====================  ==========  =======================
+kernel                 no flags    -fprefetch-loop-arrays
+=====================  ==========  =======================
+s1cf loop nest 1       1 R : 1 W   2 R : 1 W  (dcbtst)
+s1cf loop nest 2       2..5 R : 1W (faster with dcbt)
+s1cf combined          2 R : 1 W
+s2cf                   1 R : 1 W   2 R : 1 W
+=====================  ==========  =======================
+
+Also prints the assembly the compiler model injects (paper Listing 6).
+
+Run:  python examples/prefetch_and_store_bypass.py
+"""
+
+from repro.fft3d import LocalBlock, S1CFCombined, S1CFLoopNest1, \
+    S1CFLoopNest2, S2CF
+from repro.kernels import PREFETCH_LOOP_ARRAYS, compile_kernel
+from repro.measure import MeasurementSession, format_table, s1cf_ln2_boundary
+
+
+def measure(session, kernel, flags):
+    result = session.measure_kernel(
+        kernel, n_cores=1, compiler=compile_kernel(flags),
+        assume_socket_busy=True)
+    e = kernel.nbytes
+    bw = (result.measured.total_bytes / result.runtime_per_rep) / 1e9
+    return (round(result.measured.read_bytes / e, 2),
+            round(result.measured.write_bytes / e, 2),
+            round(bw, 1))
+
+
+def main():
+    print("Assembly injected by -fprefetch-loop-arrays (Listing 6):")
+    for line in compile_kernel(PREFETCH_LOOP_ARRAYS).loop_body_assembly():
+        print(f"    {line}")
+    print()
+
+    session = MeasurementSession("summit", via="pcp", seed=11)
+    n = 1024  # past Eq. 7's boundary
+    block = LocalBlock(planes=n // 2, rows=n // 4, cols=n)
+    print(f"N = {n} on a 2x4 grid -> local block "
+          f"{block.planes}x{block.rows}x{block.cols}; "
+          f"Eq. 7 boundary N ~ {s1cf_ln2_boundary():.0f}\n")
+
+    rows = []
+    for cls in (S1CFLoopNest1, S1CFLoopNest2, S1CFCombined, S2CF):
+        kernel = cls(block)
+        plain = measure(session, kernel, "")
+        flagged = measure(session, kernel, PREFETCH_LOOP_ARRAYS)
+        rows.append([kernel.routine,
+                     f"{plain[0]}R : {plain[1]}W", plain[2],
+                     f"{flagged[0]}R : {flagged[1]}W", flagged[2]])
+    print(format_table(
+        ["kernel", "traffic/elem (plain)", "GB/s",
+         "traffic/elem (-fprefetch-loop-arrays)", "GB/s"],
+        rows,
+        title="Reads/writes per 16 B element copied (measured via PCP)"))
+    print("\nMechanisms: sequential dense stores bypass the cache (no "
+          "read-per-write);\na strided stream on the core — or dcbtst "
+          "prefetch — forces write-allocation;\npast Eq. 7 each strided "
+          "16 B read costs a whole 64 B granule (x4).")
+
+
+if __name__ == "__main__":
+    main()

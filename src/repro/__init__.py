@@ -1,0 +1,58 @@
+"""repro — reproduction of *"Memory Traffic and Complete Application
+Profiling with PAPI Multi-Component Measurements"* (Barry, Jagode,
+Danalis, Dongarra) on a fully simulated POWER9-class substrate.
+
+The package builds, from scratch, every system the paper depends on:
+
+* :mod:`repro.machine` — POWER9-like nodes: cores, L3 slices with
+  idle-slice re-appropriation, a stride prefetcher, store-bypass
+  policy, memory channels, and the privileged *nest* counters;
+* :mod:`repro.engine` — exact sectored cache simulation and the fast
+  analytic traffic laws it validates;
+* :mod:`repro.pcp` — a Performance Co-Pilot stack (PMNS, perfevent
+  PMDA, PMCD daemon, client context);
+* :mod:`repro.papi` — a PAPI-like multi-component measurement library
+  (pcp, perf_event_uncore, nvml, infiniband components, event sets);
+* :mod:`repro.kernels` / :mod:`repro.fft3d` / :mod:`repro.qmc` — the
+  paper's workloads (GEMM, capped GEMV, the distributed 3D-FFT and a
+  QMCPACK-style VMC/DMC miniapp), each with verified numerics;
+* :mod:`repro.measure` — the measurement methodology (expectations,
+  Eq. 5 adaptive repetitions, sessions, timeline profiling);
+* :mod:`repro.experiments` — one reproduction per table/figure.
+
+Quickstart::
+
+    from repro.machine import SUMMIT, Node
+    from repro.pcp import start_pmcd_for_node
+    from repro.papi import library_init
+
+    node = Node(SUMMIT, seed=42)
+    papi = library_init(node, pmcd=start_pmcd_for_node(node))
+    es = papi.create_eventset()
+    es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc."
+                 "PM_MBA0_READ_BYTES.value:cpu87")
+    es.start()
+    # ... run work on the simulated node ...
+    print(es.stop())
+"""
+
+from . import errors, units
+from .machine import SKYLAKE, SUMMIT, TELLICO, Node, TrafficCounters
+from .papi import Papi, library_init
+from .pcp import start_pmcd_for_node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Node",
+    "Papi",
+    "SKYLAKE",
+    "SUMMIT",
+    "TELLICO",
+    "TrafficCounters",
+    "errors",
+    "library_init",
+    "start_pmcd_for_node",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Counter Analysis Toolkit: microbenchmark-driven validation of the
+memory-traffic events exposed by the PAPI components (paper ref. [9])."""
+
+from .validate import (
+    Classification,
+    CounterAnalysisToolkit,
+    ProbeResult,
+    ValidationReport,
+)
+
+__all__ = [
+    "Classification",
+    "CounterAnalysisToolkit",
+    "ProbeResult",
+    "ValidationReport",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any table/figure.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig3
+    repro-experiments fig11 --seed 42
+    python -m repro.cli fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .experiments import all_experiments, run_experiment
+
+
+def _result_to_json(result) -> str:
+    """Machine-readable rendering (rows only; extras hold live objects)."""
+    return json.dumps({
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(map(_plain, row)) for row in result.rows],
+        "notes": result.notes,
+    }, indent=2)
+
+
+def _plain(cell):
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=("Regenerate the tables and figures of 'Memory "
+                     "Traffic and Complete Application Profiling with "
+                     "PAPI Multi-Component Measurements' on the "
+                     "simulated POWER9 substrate."),
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id (e.g. table1, fig2 ... fig12)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulation seed (default: package default)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment in order")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII log-log plots of the "
+                             "figure's sweeps (where available)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp in all_experiments():
+            ref = f" ({exp.paper_ref})" if exp.paper_ref else ""
+            print(f"{exp.experiment_id:8s} {exp.title}{ref}")
+        return 0
+    render = _result_to_json if args.json else (lambda r: r.render())
+    if args.all:
+        for exp in all_experiments():
+            result = run_experiment(exp.experiment_id, seed=args.seed)
+            print(render(result))
+            print()
+        return 0
+    if not args.experiment:
+        build_parser().print_help()
+        return 2
+    result = run_experiment(args.experiment, seed=args.seed)
+    print(render(result))
+    if args.plot:
+        _render_plots(result)
+    return 0
+
+
+def _render_plots(result) -> None:
+    from .measure.figures import plot_ratio_sweep
+
+    spec = result.extras.get("plot")
+    if not spec:
+        print("\n(no plottable sweep in this experiment)")
+        return
+    for panel, rows in spec["panels"].items():
+        print()
+        print(plot_ratio_sweep(rows, n_col=spec["n_col"],
+                               ratio_cols=spec["ratio_cols"],
+                               title=f"{result.experiment_id} {panel}",
+                               width=64, height=16))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Kernel execution engines: analytic traffic laws, exact cache-level
+simulation, and the node executor. See DESIGN.md §3."""
+
+from .analytic import (
+    CacheContext,
+    cache_fit_fraction,
+    combine,
+    reused_read,
+    sequential_read,
+    sequential_write,
+    strided_access,
+)
+from .exact import ExactEngine
+from .executor import ExecutionRecord, Executor
+from .loopnest import AffineAccess, LoopNest
+from .stream import Access, StreamDecl, interleave, resolve_policies
+from .trace import KernelModel
+
+__all__ = [
+    "Access",
+    "AffineAccess",
+    "CacheContext",
+    "LoopNest",
+    "ExactEngine",
+    "ExecutionRecord",
+    "Executor",
+    "KernelModel",
+    "StreamDecl",
+    "cache_fit_fraction",
+    "combine",
+    "interleave",
+    "resolve_policies",
+    "reused_read",
+    "sequential_read",
+    "sequential_write",
+    "strided_access",
+]

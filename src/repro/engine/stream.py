@@ -1,0 +1,113 @@
+"""Declarative access-stream descriptions shared by both engines.
+
+A kernel is described as a set of :class:`StreamDecl` objects — one per
+array access site in the loop nest — plus (for the exact engine) a
+program-ordered generator of individual accesses. The declarations
+carry exactly the information the store-bypass policy and the stream
+prefetcher act on: direction, stride, and volume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, NamedTuple
+
+from ..errors import ConfigurationError
+from ..machine.prefetch import SoftwarePrefetch, StreamDetector
+from ..machine.store import StoreContext, StorePolicy, resolve_store_policy
+
+
+class Access(NamedTuple):
+    """One memory access in program order (exact engine input)."""
+
+    stream: str
+    addr: int
+    size: int
+    is_write: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamDecl:
+    """One access site of a loop nest.
+
+    ``stride_bytes`` is the distance between the start addresses of
+    consecutive accesses of this site (0 means repeated access to the
+    same location, ``elem_bytes`` means perfectly sequential).
+    ``footprint_bytes`` is the number of *distinct* bytes the site
+    touches over the whole nest.
+    """
+
+    name: str
+    is_write: bool
+    n_accesses: int
+    elem_bytes: int
+    stride_bytes: int
+    footprint_bytes: int
+    base: int = 0
+    #: Other memory accesses between consecutive accesses of this site
+    #: (1 = every loop iteration touches it back-to-back). Store
+    #: density gates the streaming-store bypass.
+    interarrival: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_accesses < 0 or self.elem_bytes <= 0:
+            raise ConfigurationError(f"bad stream declaration: {self}")
+        if self.footprint_bytes < 0:
+            raise ConfigurationError("footprint cannot be negative")
+
+    @property
+    def sequential(self) -> bool:
+        """Unit-stride (element-contiguous) access?"""
+        return abs(self.stride_bytes) == self.elem_bytes
+
+    @property
+    def strided(self) -> bool:
+        """Non-unit, non-repeated stride?"""
+        return abs(self.stride_bytes) > self.elem_bytes
+
+    @property
+    def volume_bytes(self) -> int:
+        return self.n_accesses * self.elem_bytes
+
+
+def resolve_policies(streams: Iterable[StreamDecl],
+                     prefetch: SoftwarePrefetch = SoftwarePrefetch(),
+                     detector: StreamDetector = None) -> dict:
+    """Resolve the store policy for every write stream in a loop nest.
+
+    The stream detector is primed with every declared stream (hardware
+    detects both load and store streams); then each write stream's
+    policy is resolved against the global "any strided stream active"
+    state, per :mod:`repro.machine.store`.
+    """
+    streams = list(streams)
+    detector = detector or StreamDetector()
+    for s in streams:
+        detector.observe_regular(s.name, s.stride_bytes, s.n_accesses, s.base)
+    policies = {}
+    for s in streams:
+        if not s.is_write:
+            continue
+        ctx = StoreContext(
+            sequential=s.sequential,
+            strided_stream_active=detector.any_strided_detected(s.elem_bytes),
+            interarrival=s.interarrival,
+            prefetch=prefetch,
+        )
+        policies[s.name] = resolve_store_policy(ctx)
+    return policies
+
+
+def interleave(*iterators: Iterator[Access]) -> Iterator[Access]:
+    """Round-robin interleave of several access iterators (models the
+    in-order issue of a loop body touching several arrays)."""
+    active: List[Iterator[Access]] = list(iterators)
+    while active:
+        still = []
+        for it in active:
+            try:
+                yield next(it)
+            except StopIteration:
+                continue
+            still.append(it)
+        active = still

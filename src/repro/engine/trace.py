@@ -1,0 +1,86 @@
+"""Kernel model interface consumed by both engines and the executor.
+
+A :class:`KernelModel` bundles the three descriptions of one
+computational kernel that the reproduction needs:
+
+1. *numerics* — the actual result, computed with NumPy (``compute``),
+   used by correctness tests;
+2. *stream declarations* — what the prefetcher/store policy sees;
+3. *traffic law* — analytic memory traffic per execution on one core,
+   plus (for small sizes) an exact program-ordered access trace.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+from ..machine.cache import TrafficCounters
+from ..machine.prefetch import SoftwarePrefetch
+from .analytic import CacheContext
+from .stream import Access, StreamDecl
+
+
+class KernelModel(abc.ABC):
+    """One kernel instance (fixed problem size) on one core."""
+
+    #: Human-readable kernel name (e.g. ``"gemm"``, ``"s1cf-ln2"``).
+    name: str = "kernel"
+
+    # ---------------------------------------------------------- numerics
+    def compute(self):  # pragma: no cover - optional per kernel
+        """Run the actual numerical kernel (NumPy); returns its result."""
+        raise NotImplementedError(f"{self.name} has no numeric implementation")
+
+    # ------------------------------------------------------------ streams
+    @abc.abstractmethod
+    def streams(self) -> List[StreamDecl]:
+        """Access-site declarations of the kernel's loop nest(s)."""
+
+    # ------------------------------------------------------------ traffic
+    @abc.abstractmethod
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        """Analytic memory traffic of one execution on one core."""
+
+    def exact_accesses(self) -> Iterator[Access]:
+        """Program-ordered accesses (exact engine); small sizes only."""
+        raise NotImplementedError(
+            f"{self.name} does not provide an exact trace"
+        )
+
+    # -------------------------------------------------------------- work
+    @abc.abstractmethod
+    def flops(self) -> float:
+        """Floating-point operations of one execution."""
+
+    def bandwidth_efficiency(self, prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                             ) -> float:
+        """Fraction of the memory-bandwidth share this kernel sustains.
+
+        Latency-bound access patterns (large strides) run well below
+        peak; software prefetch (``-fprefetch-loop-arrays``) recovers
+        much of it — the "significant improvement in performance due to
+        more effective prefetching" of Fig 7b. Default: fully streaming.
+        """
+        return 1.0
+
+    def footprint_bytes(self) -> int:
+        """Distinct bytes touched (defaults to the union of streams)."""
+        seen = {}
+        for s in self.streams():
+            prev = seen.get(s.name, 0)
+            seen[s.name] = max(prev, s.footprint_bytes)
+        return sum(seen.values())
+
+    # ---------------------------------------------------------- metadata
+    def describe(self) -> str:
+        return f"{self.name} (footprint {self.footprint_bytes()} B)"
+
+    def expected_traffic(self, granule: int = 64) -> Optional[TrafficCounters]:
+        """The *paper's* expected traffic (dashed lines in the figures):
+        element counts × element size, independent of caching nuance.
+        Kernels override this; None when the paper gives no expectation.
+        """
+        return None

@@ -1,0 +1,132 @@
+"""Extension experiments beyond the paper's figures.
+
+* ``ext-power10`` — the paper's stated future work: "extend these
+  techniques to accurately measure memory traffic ... in upcoming IBM
+  systems (e.g. POWER10)". Re-runs the Fig 3 methodology on the
+  POWER10-class configuration and locates the new divergence band and
+  batched-jump boundary implied by its 8 MB-per-core L3.
+* ``ext-gridshape`` — sensitivity of the 3D-FFT's communication volume
+  and resort traffic to the virtual processor grid's aspect ratio at a
+  fixed rank count (the r × c choice the paper takes as given).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..fft3d.app import FFT3DApp
+from ..kernels.blas import Gemm
+from ..machine.config import POWER10, SUMMIT
+from ..measure.expectations import gemm_divergence_band
+from ..measure.repetition import repetitions_for
+from ..measure.session import MeasurementSession
+from ..mpi.grid import ProcessorGrid
+from ..rng import derive_seed
+from .registry import ExperimentResult, register
+
+
+@register("ext-power10", "Fig 3 methodology projected to POWER10",
+          paper_ref="§V future work")
+def ext_power10(sizes: Optional[Sequence[int]] = None,
+                seed: Optional[int] = None) -> ExperimentResult:
+    sizes = tuple(sizes) if sizes else (256, 512, 720, 1024, 1280, 2048)
+    session = MeasurementSession(POWER10, via="pcp", seed=seed)
+    band = gemm_divergence_band(POWER10.socket.l3_per_core_bytes)
+    rows = []
+    batched = {}
+    for n in sizes:
+        reps = repetitions_for(n)
+        cores = session.batch_core_count()
+        result = session.measure_kernel(Gemm(n), n_cores=cores,
+                                        repetitions=reps)
+        rows.append([n, cores, reps, round(result.read_ratio, 3),
+                     round(result.write_ratio, 3)])
+        batched[n] = result.read_ratio
+    return ExperimentResult(
+        experiment_id="ext-power10",
+        title="Batched GEMM on POWER10 (PCP path, Eq. 5 repetitions)",
+        headers=["N", "cores", "reps", "read_ratio", "write_ratio"],
+        rows=rows,
+        notes=(f"POWER10's 8 MB per-core L3 moves the divergence band to "
+               f"N in [{band.lower:.0f}, {band.upper:.0f}] (Summit: "
+               f"[467, 809]); the batched jump follows the new upper "
+               "bound. The measurement methodology transfers unchanged."),
+        extras={"batched": batched, "band": (band.lower, band.upper)},
+    )
+
+
+@register("ext-spmv", "SpMV gather amplification vs source-vector size",
+          paper_ref="§III (traffic-law methodology)")
+def ext_spmv(sizes: Optional[Sequence[int]] = None, nnz_per_row: int = 8,
+             seed: Optional[int] = None) -> ExperimentResult:
+    """Irregular gathers: the same cache-boundary methodology the paper
+    applies to dense kernels, applied to CSR SpMV. While the source
+    vector x fits the per-core L3 share its gather costs one cold read;
+    past the boundary every non-zero pulls a whole 64 B granule."""
+    from ..engine.analytic import CacheContext
+    from ..kernels.sparse import SpmvKernel
+    from ..units import MIB
+
+    sizes = tuple(sizes) if sizes else (1 << 14, 1 << 16, 1 << 18,
+                                        1 << 20, 1 << 22)
+    ctx = CacheContext(capacity_bytes=5 * MIB)
+    boundary = 5 * MIB // 8
+    rows = []
+    per_nnz = {}
+    for n in sizes:
+        # Shape-only kernels: the traffic law needs the sparsity shape,
+        # not gigabytes of matrix data.
+        kernel = SpmvKernel.from_shape(n, nnz_per_row, seed=seed)
+        traffic = kernel.traffic(ctx)
+        ratio = traffic.read_bytes / kernel.matrix.nnz
+        rows.append([n, n * 8, round(ratio, 2),
+                     "cached" if n < boundary else "gather-amplified"])
+        per_nnz[n] = ratio
+    return ExperimentResult(
+        experiment_id="ext-spmv",
+        title=f"CSR SpMV read bytes per non-zero ({nnz_per_row} nnz/row)",
+        headers=["n", "x bytes", "read B/nnz", "regime"],
+        rows=rows,
+        notes=(f"Boundary where x exceeds the 5 MB per-core share: "
+               f"n ~ {boundary}. Below it each non-zero costs ~13 B "
+               "(8 B value + 4 B index + amortised x); above it the "
+               "gather adds a 64 B granule per non-zero."),
+        extras={"per_nnz": per_nnz, "boundary": boundary},
+    )
+
+
+@register("ext-gridshape", "3D-FFT traffic vs processor-grid aspect ratio",
+          paper_ref="§IV (grid choice)")
+def ext_gridshape(n: int = 1024, seed: Optional[int] = None
+                  ) -> ExperimentResult:
+    shapes = [(1, 8), (2, 4), (4, 2), (8, 1)]
+    rows = []
+    extras = {"per_shape": {}}
+    for r, c in shapes:
+        app = FFT3DApp(n=n, grid=ProcessorGrid(r, c), machine=SUMMIT,
+                       use_gpu=False,
+                       seed=derive_seed(seed, f"grid{r}x{c}"))
+        app.run(slices_per_phase=1)
+        recv = sum(nic.recv_octets for node in app.cluster.nodes
+                   for nic in node.nics)
+        s1 = app.resort_summary("s1cf")
+        ratio = (sum(t.read_bytes for t in s1)
+                 / sum(t.write_bytes for t in s1))
+        runtime = app.cluster.clock
+        rows.append([f"{r}x{c}", round(recv / 1e6, 1),
+                     round(ratio, 3), round(runtime * 1e3, 2)])
+        extras["per_shape"][(r, c)] = {
+            "net_bytes": recv, "s1cf_ratio": ratio, "runtime": runtime,
+        }
+    return ExperimentResult(
+        experiment_id="ext-gridshape",
+        title=f"3D-FFT (N={n}, 8 ranks) across grid aspect ratios",
+        headers=["grid r x c", "IB recv MB", "S1CF r/w", "runtime ms"],
+        rows=rows,
+        notes=("Degenerate grids (1 x 8 / 8 x 1) push one of the two "
+               "All2Alls across every rank pair while the other "
+               "vanishes; the resort traffic ratios are invariant — the "
+               "2:1 S1CF signature is a property of the access pattern, "
+               "not the decomposition."),
+        extras=extras,
+    )

@@ -1,0 +1,80 @@
+"""Figure 10: larger-scale 3D-FFT job — S1CF / S2CF at N = 1344, 2016.
+
+"For a larger-scale job ... we use 16 compute nodes on a 4-by-8
+virtual processor grid to perform computations on the problem sizes
+N = {1344, 2016}. We do not use the -fprefetch-loop-arrays compiler
+flag for this job. We expect two reads per write in S1CF and one read
+per write in S2CF."
+
+The reproduction runs the full instrumented pipeline on the simulated
+32-rank cluster several times and reports the min/max per-rank traffic
+of the S1CF and S2CF phases against those expectations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..fft3d.app import FFT3DApp
+from ..machine.config import SUMMIT
+from ..mpi.grid import ProcessorGrid
+from ..rng import derive_seed
+from .registry import ExperimentResult, register
+
+DEFAULT_SIZES = (1344, 2016)
+GRID = ProcessorGrid(4, 8)   # 32 ranks = 16 Summit nodes
+
+_HEADERS = ["routine", "N", "ranks", "runs",
+            "read/elem min", "read/elem max",
+            "write/elem min", "write/elem max",
+            "exp r/w ratio", "meas r/w ratio"]
+
+
+@register("fig10", "S1CF and S2CF at scale (16 nodes, 4x8 grid)",
+          paper_ref="Fig 10")
+def fig10(sizes: Optional[Sequence[int]] = None, n_runs: int = 3,
+          seed: Optional[int] = None) -> ExperimentResult:
+    sizes = tuple(sizes) if sizes else DEFAULT_SIZES
+    rows: List[list] = []
+    extras: Dict = {"per_routine": {}}
+    for n in sizes:
+        samples: Dict[str, Dict[str, List[float]]] = {
+            "s1cf": {"read": [], "write": []},
+            "s2cf": {"read": [], "write": []},
+        }
+        for run in range(n_runs):
+            app = FFT3DApp(n=n, grid=GRID, machine=SUMMIT, use_gpu=False,
+                           seed=derive_seed(seed, f"fig10-{n}-{run}"))
+            app.run(slices_per_phase=1)
+            block_bytes = app.block.nbytes
+            for routine in samples:
+                for record in app.resort_summary(routine):
+                    samples[routine]["read"].append(
+                        record.read_bytes / block_bytes)
+                    samples[routine]["write"].append(
+                        record.write_bytes / block_bytes)
+        for routine, expected_ratio in (("s1cf", 2.0), ("s2cf", 1.0)):
+            reads = samples[routine]["read"]
+            writes = samples[routine]["write"]
+            mean_r = sum(reads) / len(reads)
+            mean_w = sum(writes) / len(writes)
+            rows.append([
+                routine.upper(), n, GRID.size, n_runs,
+                round(min(reads), 3), round(max(reads), 3),
+                round(min(writes), 3), round(max(writes), 3),
+                expected_ratio, round(mean_r / mean_w, 3),
+            ])
+            extras["per_routine"].setdefault(routine, {})[n] = {
+                "reads": reads, "writes": writes,
+                "ratio": mean_r / mean_w,
+            }
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Performance of S1CF and S2CF (larger-scale job)",
+        headers=_HEADERS,
+        rows=rows,
+        notes=("No -fprefetch-loop-arrays. Expected: 2 reads per write "
+               "in S1CF (strided writes -> read-for-ownership), 1 read "
+               "per write in S2CF (stores bypass the cache)."),
+        extras=extras,
+    )

@@ -1,0 +1,35 @@
+"""Distributed 3D-FFT mini-app: pencil decomposition, re-sorting
+routines (S1CF/S1PF/S2CF/S2PF), the verified distributed transform, and
+the instrumented cluster application used for Figs 6-11."""
+
+from .app import FFT3DApp, RankTraffic
+from .decomp import LocalBlock, gather, local_block, scatter
+from .fft import FORWARD_PHASES, Distributed3DFFT, PhaseSpec
+from .resort import (
+    ROUTINES,
+    S1CFCombined,
+    S1CFLoopNest1,
+    S1CFLoopNest2,
+    S1PF,
+    S2CF,
+    S2PF,
+)
+
+__all__ = [
+    "Distributed3DFFT",
+    "FFT3DApp",
+    "FORWARD_PHASES",
+    "LocalBlock",
+    "PhaseSpec",
+    "ROUTINES",
+    "RankTraffic",
+    "S1CFCombined",
+    "S1CFLoopNest1",
+    "S1CFLoopNest2",
+    "S1PF",
+    "S2CF",
+    "S2PF",
+    "gather",
+    "local_block",
+    "scatter",
+]

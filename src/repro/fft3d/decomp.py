@@ -1,0 +1,83 @@
+"""Pencil decomposition of the N³ array over an r × c processor grid.
+
+Following the paper's 3D-FFT ([11], [12]): the global complex array
+``A ∈ C^{N×N×N}`` is decomposed so each MPI rank holds a local block of
+shape ``(N/r, N/c, N)`` — PLANES × ROWS × COLS in the listings'
+nomenclature. This module handles the slab bookkeeping: scatter a
+global array into per-rank local blocks and gather it back, plus the
+local-shape arithmetic shared by the resort kernels and the FFT
+driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mpi.grid import ProcessorGrid
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalBlock:
+    """Dimensions of one rank's block (Listing nomenclature)."""
+
+    planes: int  # N / r
+    rows: int    # N / c
+    cols: int    # N
+
+    @property
+    def elements(self) -> int:
+        return self.planes * self.rows * self.cols
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * 16  # double complex
+
+    @property
+    def shape(self):
+        return (self.planes, self.rows, self.cols)
+
+
+def local_block(n: int, grid: ProcessorGrid) -> LocalBlock:
+    """Local block dimensions for a global N³ problem on ``grid``."""
+    planes, rows, cols = grid.local_shape(n)
+    return LocalBlock(planes=planes, rows=rows, cols=cols)
+
+
+def scatter(global_array: np.ndarray, grid: ProcessorGrid) -> List[np.ndarray]:
+    """Split a global (N, N, N) array into per-rank local blocks.
+
+    Rank (row, col) of the grid owns
+    ``global[row·N/r:(row+1)·N/r, col·N/c:(col+1)·N/c, :]``.
+    """
+    n = global_array.shape[0]
+    if global_array.shape != (n, n, n):
+        raise ConfigurationError(
+            f"expected a cubic array, got shape {global_array.shape}")
+    blk = local_block(n, grid)
+    out = []
+    for rank in range(grid.size):
+        r, c = grid.coords_of(rank)
+        out.append(np.ascontiguousarray(
+            global_array[r * blk.planes:(r + 1) * blk.planes,
+                         c * blk.rows:(c + 1) * blk.rows, :]))
+    return out
+
+
+def gather(blocks: List[np.ndarray], grid: ProcessorGrid) -> np.ndarray:
+    """Inverse of :func:`scatter`."""
+    if len(blocks) != grid.size:
+        raise ConfigurationError(
+            f"need {grid.size} blocks, got {len(blocks)}")
+    planes, rows, cols = blocks[0].shape
+    n = cols
+    if planes * grid.rows != n or rows * grid.cols != n:
+        raise ConfigurationError("block shapes inconsistent with grid")
+    out = np.empty((n, n, n), dtype=blocks[0].dtype)
+    for rank, block in enumerate(blocks):
+        r, c = grid.coords_of(rank)
+        out[r * planes:(r + 1) * planes, c * rows:(c + 1) * rows, :] = block
+    return out

@@ -1,0 +1,214 @@
+"""Distributed 3D-FFT (pencil decomposition over an r × c grid).
+
+The numeric path runs the genuinely distributed algorithm — per-rank
+blocks, 1-D FFT sweeps, block exchanges within row/column groups of
+the grid, and re-sorts — and is verified against ``numpy.fft.fftn`` in
+tests. All ranks live in one process (see :mod:`repro.mpi`), but no
+rank ever touches another rank's block except through the exchange
+helpers, so the data movement is the real algorithm's.
+
+Phase structure (matches Fig 11's narrative):
+
+====  ==============  =========================================
+#     phase           hardware signature
+====  ==============  =========================================
+1     fft-z           H2D read burst, GPU power spike, D2H write
+2     s1cf            resort, 2 reads : 1 write
+3     all2all-1       InfiniBand ``port_recv_data`` jump
+4     s2cf            resort, 1 read : 1 write, higher bandwidth
+5     fft-y           like fft-z
+6     s1pf            like s1cf
+7     all2all-2       like all2all-1
+8     s2pf            like s2cf
+9     fft-x           like fft-z
+====  ==============  =========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mpi.grid import ProcessorGrid
+from .decomp import LocalBlock, local_block, scatter
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of the distributed FFT pipeline."""
+
+    name: str
+    kind: str  # "fft" | "resort" | "all2all"
+    #: For resorts: which routine ("S1CF", "S2CF", "S1PF", "S2PF").
+    routine: Optional[str] = None
+    #: For FFTs: transform axis label.
+    axis: Optional[str] = None
+
+
+#: The canonical forward pipeline.
+FORWARD_PHASES: List[PhaseSpec] = [
+    PhaseSpec("fft-z", "fft", axis="z"),
+    PhaseSpec("s1cf", "resort", routine="S1CF"),
+    PhaseSpec("all2all-1", "all2all"),
+    PhaseSpec("s2cf", "resort", routine="S2CF"),
+    PhaseSpec("fft-y", "fft", axis="y"),
+    PhaseSpec("s1pf", "resort", routine="S1PF"),
+    PhaseSpec("all2all-2", "all2all"),
+    PhaseSpec("s2pf", "resort", routine="S2PF"),
+    PhaseSpec("fft-x", "fft", axis="x"),
+]
+
+#: The backward (inverse) pipeline: the forward phases mirrored. Each
+#: inverse re-sort is the transpose of its forward partner, so the
+#: roles swap: the inverses of the stride-amortised S2*F copies stay
+#: 1 read : 1 write, while the inverses of the S1*F transposes keep
+#: the strided side (now on the writes) and stay 2 reads : 1 write —
+#: the "store" routines' traffic identities are direction-symmetric.
+BACKWARD_PHASES: List[PhaseSpec] = [
+    PhaseSpec("ifft-x", "fft", axis="x"),
+    PhaseSpec("s2pb", "resort", routine="S2PB"),
+    PhaseSpec("all2all-3", "all2all"),
+    PhaseSpec("s1pb", "resort", routine="S1PB"),
+    PhaseSpec("ifft-y", "fft", axis="y"),
+    PhaseSpec("s2cb", "resort", routine="S2CB"),
+    PhaseSpec("all2all-4", "all2all"),
+    PhaseSpec("s1cb", "resort", routine="S1CB"),
+    PhaseSpec("ifft-z", "fft", axis="z"),
+]
+
+
+class Distributed3DFFT:
+    """Pencil-decomposed 3D-FFT over a 2-D processor grid."""
+
+    def __init__(self, n: int, grid: ProcessorGrid):
+        if n <= 0:
+            raise ConfigurationError("N must be positive")
+        grid.local_shape(n)  # validates divisibility
+        self.n = n
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    @property
+    def block(self) -> LocalBlock:
+        return local_block(self.n, self.grid)
+
+    @property
+    def phases(self) -> List[PhaseSpec]:
+        return list(FORWARD_PHASES)
+
+    # ------------------------------------------------------------------
+    # numeric distributed algorithm
+    # ------------------------------------------------------------------
+    def forward_blocks(self, blocks: List[np.ndarray]) -> List[np.ndarray]:
+        """Distributed forward transform of per-rank blocks.
+
+        Input: rank (r, c) holds ``A[rP:(r+1)P, cR:(c+1)R, :]`` of shape
+        (P, R, N). Output: rank (r, c) holds ``Â[:, rP:(r+1)P,
+        cR:(c+1)R]`` — full (transformed) x axis, y/z distributed.
+        """
+        grid = self.grid
+        n = self.n
+        p = self.block.planes   # N / r
+        r_ = self.block.rows    # N / c
+        if len(blocks) != grid.size:
+            raise ConfigurationError(
+                f"need {grid.size} blocks, got {len(blocks)}")
+        # ---- phase 1: 1-D FFT along z (local, full axis) -------------
+        blocks = [np.fft.fft(b, axis=2) for b in blocks]
+        # ---- phases 2-4: exchange within grid *rows* to make y full --
+        # Rank (r0, c0) splits its (P, R, N) block along z into `cols`
+        # chunks and receives the matching chunks of every row peer,
+        # concatenating along y: (P, R, N) -> (P, N, N/c).
+        new_blocks: List[Optional[np.ndarray]] = [None] * grid.size
+        for row in range(grid.rows):
+            ranks = grid.row_ranks(row)
+            c = grid.cols
+            z_chunk = n // c
+            for j, dst in enumerate(ranks):
+                pieces = [
+                    blocks[src][:, :, j * z_chunk:(j + 1) * z_chunk]
+                    for src in ranks
+                ]
+                new_blocks[dst] = np.concatenate(pieces, axis=1)
+        blocks = [np.ascontiguousarray(b) for b in new_blocks]
+        # ---- phase 5: 1-D FFT along y (now full) ----------------------
+        blocks = [np.fft.fft(b, axis=1) for b in blocks]
+        # ---- phases 6-8: exchange within grid *columns* to make x full
+        # (P, N, N/c) -> (N, N/r, N/c): split along y into `rows`
+        # chunks of size P... the x axis is distributed over grid rows.
+        new_blocks = [None] * grid.size
+        for col in range(grid.cols):
+            ranks = grid.col_ranks(col)
+            for j, dst in enumerate(ranks):
+                pieces = [
+                    blocks[src][:, j * p:(j + 1) * p, :]
+                    for src in ranks
+                ]
+                new_blocks[dst] = np.concatenate(pieces, axis=0)
+        blocks = [np.ascontiguousarray(b) for b in new_blocks]
+        # ---- phase 9: 1-D FFT along x (now full) ----------------------
+        return [np.fft.fft(b, axis=0) for b in blocks]
+
+    def backward_blocks(self, blocks: List[np.ndarray]) -> List[np.ndarray]:
+        """Inverse transform: exactly the forward pipeline reversed.
+
+        Takes blocks in the forward *output* distribution (full x,
+        y-range per grid row, z-range per grid column) and returns
+        blocks in the original input distribution, applying normalised
+        inverse 1-D FFTs along each axis.
+        """
+        grid = self.grid
+        n = self.n
+        p = self.block.planes
+        if len(blocks) != grid.size:
+            raise ConfigurationError(
+                f"need {grid.size} blocks, got {len(blocks)}")
+        # ---- inverse of phase 9: iFFT along x ------------------------
+        blocks = [np.fft.ifft(b, axis=0) for b in blocks]
+        # ---- inverse of phases 6-8: redistribute x over grid rows ----
+        # (N, N/r, N/c) -> (N/r, N, N/c): each rank keeps its own x
+        # chunk and receives the y chunks it owned before.
+        new_blocks: List[Optional[np.ndarray]] = [None] * grid.size
+        for col in range(grid.cols):
+            ranks = grid.col_ranks(col)
+            for j, dst in enumerate(ranks):
+                pieces = [
+                    blocks[src][j * p:(j + 1) * p, :, :]
+                    for src in ranks
+                ]
+                new_blocks[dst] = np.concatenate(pieces, axis=1)
+        blocks = [np.ascontiguousarray(b) for b in new_blocks]
+        # ---- inverse of phase 5: iFFT along y -------------------------
+        blocks = [np.fft.ifft(b, axis=1) for b in blocks]
+        # ---- inverse of phases 2-4: redistribute y over grid columns -
+        # (N/r, N, N/c) -> (N/r, N/c, N).
+        new_blocks = [None] * grid.size
+        r_ = self.block.rows
+        for row in range(grid.rows):
+            ranks = grid.row_ranks(row)
+            for j, dst in enumerate(ranks):
+                pieces = [
+                    blocks[src][:, j * r_:(j + 1) * r_, :]
+                    for src in ranks
+                ]
+                new_blocks[dst] = np.concatenate(pieces, axis=2)
+        blocks = [np.ascontiguousarray(b) for b in new_blocks]
+        # ---- inverse of phase 1: iFFT along z -------------------------
+        return [np.fft.ifft(b, axis=2) for b in blocks]
+
+    def forward_global(self, global_array: np.ndarray) -> np.ndarray:
+        """Scatter, transform, and reassemble the full Â for testing."""
+        blocks = self.forward_blocks(scatter(global_array, self.grid))
+        n = self.n
+        p = self.block.planes
+        r_ = self.block.rows
+        out = np.empty((n, n, n), dtype=np.complex128)
+        for rank, blk in enumerate(blocks):
+            row, col = self.grid.coords_of(rank)
+            # After the pipeline, rank (row, col) holds full x, the y
+            # range of its grid row, and the z range of its grid column.
+            out[:, row * p:(row + 1) * p, col * r_:(col + 1) * r_] = blk
+        return out

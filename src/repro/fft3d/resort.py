@@ -1,0 +1,417 @@
+"""Data re-sorting routines of the distributed 3D-FFT (paper §IV).
+
+Four routines move data between the layout the 1-D FFTs want and the
+layout the All2All exchanges produce:
+
+* ``store_1st_colwise_forward`` (S1CF) — studied in depth as three
+  variants: the original two loop nests (Listings 5 and 7), and the
+  combined single nest (Listing 8);
+* ``store_1st_planewise_forward`` (S1PF) — same structure as S1CF;
+* ``store_2nd_colwise_forward`` (S2CF, Listing 9) — effectively
+  stride-free;
+* ``store_2nd_planewise_forward`` (S2PF) — same structure as S2CF.
+
+Every variant is a :class:`~repro.engine.trace.KernelModel`: NumPy
+numerics (transposition — verified against ``np.transpose`` in tests),
+stream declarations, the analytic traffic law, an exact trace for
+small sizes, and the *paper's* expectation. The traffic behaviours the
+paper teases out — cache-bypassing sequential stores, read-per-write
+under strided streams, the ×4 line amplification past Eq. 7's
+boundary, the effect of ``-fprefetch-loop-arrays`` — all emerge from
+the shared policy/traffic primitives, not per-kernel special cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..engine.analytic import (
+    CacheContext,
+    combine,
+    sequential_read,
+    sequential_write,
+    strided_access,
+)
+from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.trace import KernelModel
+from ..errors import ConfigurationError
+from ..machine.cache import TrafficCounters
+from ..machine.prefetch import SoftwarePrefetch
+from ..machine.store import StorePolicy
+from ..rng import substream
+from ..units import DOUBLE_COMPLEX
+from .decomp import LocalBlock
+
+
+def _make_block_data(block: LocalBlock, seed: Optional[int]) -> np.ndarray:
+    rng = substream(seed, f"resort-{block.planes}x{block.rows}x{block.cols}")
+    real = rng.standard_normal(block.elements)
+    imag = rng.standard_normal(block.elements)
+    return (real + 1j * imag).astype(np.complex128)
+
+
+@dataclasses.dataclass
+class _ResortKernel(KernelModel):
+    """Shared plumbing for all re-sorting kernel models."""
+
+    block: LocalBlock
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.block.elements <= 0:
+            raise ConfigurationError("empty local block")
+        self.name = (f"{self.routine}-{self.block.planes}x"
+                     f"{self.block.rows}x{self.block.cols}")
+
+    routine = "resort"
+
+    @property
+    def elements(self) -> int:
+        return self.block.elements
+
+    @property
+    def nbytes(self) -> int:
+        return self.block.nbytes
+
+    def flops(self) -> float:
+        return 0.0  # pure data movement
+
+    def make_input(self) -> np.ndarray:
+        return _make_block_data(self.block, self.seed)
+
+
+# ======================================================================
+# S1CF loop nest 1 (Listing 5): in[1D] -> tmp[3D], both sequential
+# ======================================================================
+class S1CFLoopNest1(_ResortKernel):
+    """Sequential copy — the cache-bypass showcase (Fig 6).
+
+    No stride anywhere, so the stores to ``tmp`` bypass the cache: the
+    paper *expects* two reads (in, plus read-per-write on tmp) "but we
+    only observe one read". Compiling with ``-fprefetch-loop-arrays``
+    inserts ``dcbtst`` and the second read appears (Fig 6b).
+    """
+
+    routine = "s1cf-ln1"
+
+    def compute(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        data = self.make_input() if data is None else data
+        return data.reshape(self.block.shape).copy()
+
+    def streams(self) -> List[StreamDecl]:
+        e = DOUBLE_COMPLEX
+        return [
+            StreamDecl("in", False, self.elements, e, e, self.nbytes, base=0),
+            StreamDecl("tmp", True, self.elements, e, e, self.nbytes,
+                       base=self.nbytes + 256, interarrival=1),
+        ]
+
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        return combine(
+            sequential_read(self.nbytes, ctx),
+            sequential_write(self.nbytes, ctx, policies["tmp"]),
+        )
+
+    def exact_accesses(self) -> Iterator[Access]:
+        e = DOUBLE_COMPLEX
+        tmp_base = self.nbytes + 256
+        for i in range(self.elements):
+            yield Access("in", i * e, e, False)
+            yield Access("tmp", tmp_base + i * e, e, True)
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Paper expectation: 2 reads (in + tmp RFO), 1 write."""
+        return TrafficCounters(read_bytes=2 * self.nbytes,
+                               write_bytes=self.nbytes)
+
+    def bandwidth_efficiency(self, prefetch=SoftwarePrefetch()) -> float:
+        return 0.95 if prefetch.dcbt else 0.85
+
+
+# ======================================================================
+# S1CF loop nest 2 (Listing 7): tmp[3D] -> out[1D], tmp strided
+# ======================================================================
+class S1CFLoopNest2(_ResortKernel):
+    """Strided gather — the Eq. 7 amplification showcase (Fig 7).
+
+    ``tmp`` is traversed COLS-major against its PLANES-major layout:
+    stride PLANES·ROWS elements. The strided stream (a) forces ``out``
+    to write-allocate (read per write) and (b) past Eq. 7's boundary
+    costs a whole 64 B granule per 16 B element — up to 5 reads per
+    write.
+    """
+
+    routine = "s1cf-ln2"
+
+    def compute(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        data = self.make_input() if data is None else data
+        tmp = data.reshape(self.block.shape)
+        return np.ascontiguousarray(tmp.transpose(2, 0, 1)).ravel()
+
+    # ------------------------------------------------------------------
+    @property
+    def stride_elems(self) -> int:
+        return self.block.planes * self.block.rows
+
+    def streams(self) -> List[StreamDecl]:
+        e = DOUBLE_COMPLEX
+        return [
+            StreamDecl("tmp", False, self.elements, e,
+                       self.stride_elems * e, self.nbytes, base=0),
+            StreamDecl("out", True, self.elements, e, e, self.nbytes,
+                       base=self.nbytes + 256, interarrival=1),
+        ]
+
+    def working_set_bytes(self, granule: int = 64) -> int:
+        """Eq. 7's left-hand side: one granule per in-flight tmp line
+        (PLANES·ROWS of them) plus the interleaved stretch of out."""
+        per_stride = self.stride_elems
+        return per_stride * granule + per_stride * DOUBLE_COMPLEX
+
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        tmp = strided_access(
+            n_accesses=self.elements, elem_bytes=DOUBLE_COMPLEX, ctx=ctx,
+            working_set_bytes=self.working_set_bytes(ctx.granule),
+            footprint_bytes=self.nbytes,
+        )
+        out = sequential_write(self.nbytes, ctx, policies["out"])
+        return combine(tmp, out)
+
+    def exact_accesses(self) -> Iterator[Access]:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        out_base = self.nbytes + 256
+        idx = 0
+        for col in range(c):
+            for plane in range(p):
+                for row in range(r):
+                    src = (plane * r + row) * c + col
+                    yield Access("tmp", src * e, e, False)
+                    yield Access("out", out_base + idx * e, e, True)
+                    idx += 1
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Paper expectation before measuring: 2 reads (tmp + out RFO),
+        1 write — the strided amplification is the *measured* excess."""
+        return TrafficCounters(read_bytes=2 * self.nbytes,
+                               write_bytes=self.nbytes)
+
+    def bandwidth_efficiency(self, prefetch=SoftwarePrefetch()) -> float:
+        # Large-stride gathers are latency-bound; dcbt prefetch "shows
+        # a significant improvement in performance" (Fig 7b).
+        return 0.80 if prefetch.dcbt else 0.30
+
+
+# ======================================================================
+# S1CF combined nest (Listing 8): in -> out directly, out strided
+# ======================================================================
+class S1CFCombined(_ResortKernel):
+    """Single-nest S1CF: sequential reads, strided writes (Fig 8).
+
+    The write stride keeps stores from bypassing (read per write), but
+    out's granules are revisited within a short window (one COLS sweep)
+    so no ×4 amplification occurs: exactly 2 reads and 1 write per
+    element, "precisely what we observe".
+    """
+
+    routine = "s1cf"
+
+    def compute(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        data = self.make_input() if data is None else data
+        tmp = data.reshape(self.block.shape)
+        return np.ascontiguousarray(tmp.transpose(2, 0, 1)).ravel()
+
+    @property
+    def stride_elems(self) -> int:
+        return self.block.planes * self.block.rows
+
+    def streams(self) -> List[StreamDecl]:
+        e = DOUBLE_COMPLEX
+        return [
+            StreamDecl("in", False, self.elements, e, e, self.nbytes, base=0),
+            StreamDecl("out", True, self.elements, e,
+                       self.stride_elems * e, self.nbytes,
+                       base=self.nbytes + 256, interarrival=1),
+        ]
+
+    def working_set_bytes(self, granule: int = 64) -> int:
+        # One sweep of the innermost (col) loop touches COLS granules of
+        # out plus COLS elements of in before out's granules are reused.
+        return self.block.cols * (granule + DOUBLE_COMPLEX)
+
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        inp = sequential_read(self.nbytes, ctx)
+        out = strided_access(
+            n_accesses=self.elements, elem_bytes=DOUBLE_COMPLEX, ctx=ctx,
+            working_set_bytes=self.working_set_bytes(ctx.granule),
+            footprint_bytes=self.nbytes, is_write=True,
+            policy=policies["out"],
+        )
+        return combine(inp, out)
+
+    def exact_accesses(self) -> Iterator[Access]:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        out_base = self.nbytes + 256
+        for plane in range(p):
+            for row in range(r):
+                for col in range(c):
+                    src = (plane * r + row) * c + col
+                    dst = (col * p + plane) * r + row
+                    yield Access("in", src * e, e, False)
+                    yield Access("out", out_base + dst * e, e, True)
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Fig 8 / Fig 10 expectation: 2 reads, 1 write per element."""
+        return TrafficCounters(read_bytes=2 * self.nbytes,
+                               write_bytes=self.nbytes)
+
+    def bandwidth_efficiency(self, prefetch=SoftwarePrefetch()) -> float:
+        return 0.75 if prefetch.dcbt else 0.55
+
+
+class S1PF(S1CFCombined):
+    """store_1st_planewise_forward: "the structure and performance of
+    S1PF ... are similar to those of S1CF"."""
+
+    routine = "s1pf"
+
+
+# ======================================================================
+# S2CF (Listing 9): block-sequential copy, stride amortised
+# ======================================================================
+class S2CF(_ResortKernel):
+    """Second re-sort: "not completely stride-free, but the innermost
+    dimension of the traversal matches the innermost dimension of the
+    ordering of in, [so] the effect of the stride is amortized" — the
+    stores bypass the cache: 1 read, 1 write per element (Fig 9a).
+    With ``-fprefetch-loop-arrays``, dcbtst forces the out read (9b).
+    """
+
+    routine = "s2cf"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Split COLS into (Y, X) receive-block factors; Y is the number
+        # of peers the preceding All2All gathered from.
+        self.y_factor = self._pick_y_factor()
+
+    def _pick_y_factor(self) -> int:
+        cols = self.block.cols
+        for y in (8, 4, 2):
+            if cols % y == 0:
+                return y
+        return 1
+
+    def compute(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        data = self.make_input() if data is None else data
+        p, r, c = self.block.shape
+        y = self.y_factor
+        x = c // y
+        arr = data.reshape(y, p, x, r)
+        return np.ascontiguousarray(arr.transpose(1, 2, 0, 3)).ravel()
+
+    @property
+    def run_elems(self) -> int:
+        """Length of each contiguous innermost run (ROWS)."""
+        return self.block.rows
+
+    def streams(self) -> List[StreamDecl]:
+        e = DOUBLE_COMPLEX
+        # in moves in contiguous runs of ROWS elements; between runs the
+        # base jumps, but within runs the stride is unit — the detector
+        # sees a (block-)sequential stream, so no strided stream gates
+        # the store bypass.
+        return [
+            StreamDecl("in", False, self.elements, e, e, self.nbytes, base=0),
+            StreamDecl("out", True, self.elements, e, e, self.nbytes,
+                       base=self.nbytes + 256, interarrival=1),
+        ]
+
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        return combine(
+            sequential_read(self.nbytes, ctx),
+            sequential_write(self.nbytes, ctx, policies["out"]),
+        )
+
+    def exact_accesses(self) -> Iterator[Access]:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        y = self.y_factor
+        x = c // y
+        out_base = self.nbytes + 256
+        idx = 0
+        for plane in range(p):
+            for xx in range(x):
+                for yy in range(y):
+                    for row in range(r):
+                        src = ((yy * p + plane) * x + xx) * r + row
+                        yield Access("in", src * e, e, False)
+                        yield Access("out", out_base + idx * e, e, True)
+                        idx += 1
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Fig 9a / Fig 10 expectation: 1 read, 1 write per element."""
+        return TrafficCounters(read_bytes=self.nbytes,
+                               write_bytes=self.nbytes)
+
+    def bandwidth_efficiency(self, prefetch=SoftwarePrefetch()) -> float:
+        # "These two re-sorting phases also realize higher bandwidth due
+        # to better locality in their access patterns."
+        return 0.95 if prefetch.dcbt else 0.90
+
+
+class S2PF(S2CF):
+    """store_2nd_planewise_forward: same structure as S2CF."""
+
+    routine = "s2pf"
+
+
+class S1CB(S1CFCombined):
+    """Backward (inverse) colwise re-sort: the transpose of S1CF —
+    same strided structure, same 2 R : 1 W signature."""
+
+    routine = "s1cb"
+
+
+class S1PB(S1CFCombined):
+    routine = "s1pb"
+
+
+class S2CB(S2CF):
+    """Backward second re-sort: stride amortised, 1 R : 1 W."""
+
+    routine = "s2cb"
+
+
+class S2PB(S2CF):
+    routine = "s2pb"
+
+
+#: The forward routines by their paper abbreviations, plus the
+#: backward (inverse-pipeline) counterparts.
+ROUTINES = {
+    "S1CF": S1CFCombined,
+    "S1PF": S1PF,
+    "S2CF": S2CF,
+    "S2PF": S2PF,
+    "S1CB": S1CB,
+    "S1PB": S1PB,
+    "S2CB": S2CB,
+    "S2PB": S2PB,
+}

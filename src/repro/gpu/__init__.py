@@ -1,0 +1,9 @@
+"""Simulated GPU devices (V100-class): DMA engines that generate host
+memory traffic, a cuFFT-like batched 1-D FFT, and a power log sampled by
+the PAPI ``nvml`` component."""
+
+from .cufft import CufftPlan1D
+from .device import GPUDevice
+from .power import PowerLog
+
+__all__ = ["CufftPlan1D", "GPUDevice", "PowerLog"]

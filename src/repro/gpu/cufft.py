@@ -1,0 +1,80 @@
+"""cuFFT-like batched 1-D FFT executor.
+
+The distributed 3D-FFT mini-app offloads its 1-D transform batches to
+the GPU exactly as the paper's modified code does ("adapted to utilize
+the GPUs for the 1D-FFT operations"). :class:`CufftPlan1D` provides
+
+* ``execute(data)`` — the *numerics*: a batched complex-to-complex 1-D
+  FFT computed with :func:`numpy.fft.fft` (NumPy is our stand-in for
+  the cuFFT math; results are bit-compatible with FFTW/cuFFT up to
+  rounding), and
+* ``simulate(device)`` — the *hardware activity*: H2D of the batch,
+  a kernel burst of :math:`5 \\cdot B \\cdot N \\log_2 N` FLOPs (the
+  standard radix-2 operation count), and D2H of the result, driving
+  the device's power log and the host's memory-traffic counters.
+
+Keeping the two paths on one plan object ensures tests can verify that
+the simulated byte counts equal the byte size of the data actually
+transformed.
+"""
+
+from __future__ import annotations
+
+import math
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GPUError
+from ..units import DOUBLE_COMPLEX
+from .device import GPUDevice
+
+
+@dataclasses.dataclass(frozen=True)
+class CufftPlan1D:
+    """Plan for ``batch`` transforms of length ``n`` (complex double)."""
+
+    n: int
+    batch: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.batch <= 0:
+            raise GPUError("FFT length and batch must be positive")
+
+    # ------------------------------------------------------- numerics
+    def execute(self, data: np.ndarray, inverse: bool = False) -> np.ndarray:
+        """Transform ``data`` of shape ``(batch, n)`` (or reshapeable)."""
+        arr = np.asarray(data, dtype=np.complex128).reshape(self.batch, self.n)
+        if inverse:
+            # cuFFT's inverse is unnormalised; match that convention.
+            return np.fft.ifft(arr, axis=1) * self.n
+        return np.fft.fft(arr, axis=1)
+
+    # ------------------------------------------------------- hardware
+    @property
+    def bytes_in(self) -> int:
+        return self.batch * self.n * DOUBLE_COMPLEX
+
+    @property
+    def bytes_out(self) -> int:
+        return self.bytes_in
+
+    @property
+    def flops(self) -> float:
+        """Standard 5·N·log2(N) per transform operation count."""
+        return 5.0 * self.batch * self.n * math.log2(self.n)
+
+    def simulate(self, device: GPUDevice,
+                 power_w: Optional[float] = None) -> float:
+        """Drive the device through H2D → kernel → D2H for this plan.
+
+        Returns the total simulated duration. The H2D reads and D2H
+        writes land in the host socket's memory controller — the
+        high-read-then-high-write signature flanking each GPU power
+        spike in Fig 11.
+        """
+        total = device.h2d(self.bytes_in)
+        total += device.execute(self.flops, power_w=power_w)
+        total += device.d2h(self.bytes_out)
+        return total

@@ -1,0 +1,114 @@
+"""Simulated GPU (NVIDIA V100-class) attached to one socket.
+
+The device matters to the paper in exactly three ways, all reproduced:
+
+1. **Host memory traffic of DMA** — copying an array to the device
+   *reads* host memory; copying results back *writes* it. In Fig 11
+   the 1D-FFT phases show "a large amount of host memory being read"
+   before the GPU power spike and "a large amount of host memory being
+   written to" after it. H2D/D2H therefore record traffic into the
+   owning socket's memory controller, where the nest counters see it.
+2. **Power** — kernel execution raises board power to a busy level,
+   producing the spikes the NVML component observes.
+3. **Time** — DMA and kernel durations advance the node clock, giving
+   the phases their extent on the profile's time axis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import GPUError
+from ..machine.config import GPUConfig
+from .power import PowerLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.node import Node
+
+
+class GPUDevice:
+    """One GPU with memory tracking, DMA engines and a power model."""
+
+    def __init__(self, device_id: int, socket_id: int, config: GPUConfig,
+                 node: "Node"):
+        self.device_id = device_id
+        self.socket_id = socket_id
+        self.config = config
+        self.node = node
+        self.power = PowerLog(config.idle_power_w)
+        self.allocated_bytes = 0
+        #: Cumulative DMA byte counters (device lifetime).
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        #: Cumulative kernel FLOPs executed.
+        self.flops_executed = 0.0
+
+    # --------------------------------------------------------- memory
+    def malloc(self, nbytes: int) -> int:
+        """Reserve device memory; returns the new allocation total."""
+        if nbytes < 0:
+            raise GPUError("allocation size cannot be negative")
+        if self.allocated_bytes + nbytes > self.config.memory_bytes:
+            raise GPUError(
+                f"device {self.device_id} out of memory: "
+                f"{self.allocated_bytes + nbytes} > {self.config.memory_bytes}"
+            )
+        self.allocated_bytes += nbytes
+        return self.allocated_bytes
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.allocated_bytes:
+            raise GPUError("freeing more than allocated")
+        self.allocated_bytes -= nbytes
+
+    # ------------------------------------------------------------ DMA
+    def h2d(self, nbytes: int, advance_clock: bool = True) -> float:
+        """Host-to-device copy: reads host memory. Returns duration."""
+        duration = self._dma(nbytes)
+        self.h2d_bytes += nbytes
+        self.node.socket(self.socket_id).record_traffic(read_bytes=nbytes)
+        if advance_clock:
+            self.node.advance(duration)
+        return duration
+
+    def d2h(self, nbytes: int, advance_clock: bool = True) -> float:
+        """Device-to-host copy: writes host memory. Returns duration."""
+        duration = self._dma(nbytes)
+        self.d2h_bytes += nbytes
+        self.node.socket(self.socket_id).record_traffic(write_bytes=nbytes)
+        if advance_clock:
+            self.node.advance(duration)
+        return duration
+
+    def _dma(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise GPUError("transfer size cannot be negative")
+        return nbytes / self.config.dma_bandwidth
+
+    # -------------------------------------------------------- kernels
+    def execute(self, flops: float, power_w: Optional[float] = None,
+                advance_clock: bool = True) -> float:
+        """Run a kernel of ``flops`` on the device. Returns duration.
+
+        Board power rises to ``power_w`` (default: configured peak)
+        for the duration; the interval is logged for NVML sampling.
+        """
+        if flops < 0:
+            raise GPUError("flops cannot be negative")
+        duration = flops / self.config.flops
+        watts = self.config.peak_power_w if power_w is None else power_w
+        t0 = self.node.clock
+        self.power.add_interval(t0, t0 + duration, watts)
+        self.flops_executed += flops
+        if advance_clock:
+            self.node.advance(duration)
+        return duration
+
+    # ------------------------------------------------------- sampling
+    def power_at(self, t: Optional[float] = None) -> float:
+        """Instantaneous board power (NVML semantics)."""
+        return self.power.power_at(self.node.clock if t is None else t)
+
+    @property
+    def name(self) -> str:
+        return self.config.name

@@ -1,0 +1,75 @@
+"""GPU power accounting as a time-interval log.
+
+NVML exposes instantaneous board power; the paper samples it through
+the PAPI ``nvml`` component to correlate GPU activity with host memory
+traffic (Fig 11). The simulated device records every busy interval with
+its power level; :class:`PowerLog` answers both instantaneous
+(``power_at``) and window-average (``average_power``) queries, the
+latter being what a sampling profiler effectively observes.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Tuple
+
+from ..errors import GPUError
+
+
+class PowerLog:
+    """Piecewise-constant power history above an idle baseline."""
+
+    def __init__(self, idle_power_w: float):
+        if idle_power_w < 0:
+            raise GPUError("idle power cannot be negative")
+        self.idle_power_w = idle_power_w
+        # Sorted, non-overlapping (t0, t1, watts) busy intervals.
+        self._intervals: List[Tuple[float, float, float]] = []
+
+    # ------------------------------------------------------------------
+    def add_interval(self, t0: float, t1: float, watts: float) -> None:
+        """Record a busy interval at ``watts`` total board power."""
+        if t1 < t0:
+            raise GPUError(f"interval ends before it starts: [{t0}, {t1}]")
+        if watts < self.idle_power_w:
+            raise GPUError("busy power below idle baseline")
+        if t1 == t0:
+            return
+        insort(self._intervals, (t0, t1, watts))
+
+    # ------------------------------------------------------------------
+    def power_at(self, t: float) -> float:
+        """Instantaneous board power at time ``t``."""
+        for t0, t1, w in self._intervals:
+            if t0 <= t < t1:
+                return w
+            if t0 > t:
+                break
+        return self.idle_power_w
+
+    def energy_joules(self, t0: float, t1: float) -> float:
+        """Energy consumed in ``[t0, t1]`` (idle baseline included)."""
+        if t1 < t0:
+            raise GPUError("window ends before it starts")
+        energy = self.idle_power_w * (t1 - t0)
+        for a, b, w in self._intervals:
+            lo = max(a, t0)
+            hi = min(b, t1)
+            if hi > lo:
+                energy += (w - self.idle_power_w) * (hi - lo)
+        return energy
+
+    def average_power(self, t0: float, t1: float) -> float:
+        """Average board power over ``[t0, t1]`` — what a sampling
+        profiler reading NVML at both endpoints effectively measures."""
+        if t1 <= t0:
+            return self.power_at(t0)
+        return self.energy_joules(t0, t1) / (t1 - t0)
+
+    def busy_seconds(self, t0: float, t1: float) -> float:
+        total = 0.0
+        for a, b, _ in self._intervals:
+            lo, hi = max(a, t0), min(b, t1)
+            if hi > lo:
+                total += hi - lo
+        return total

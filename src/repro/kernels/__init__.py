@@ -1,0 +1,38 @@
+"""Reference computational kernels (paper Listings 1-4) and the
+compiler-flag model for ``-fprefetch-loop-arrays``."""
+
+from .blas import CappedGemv, Dot, Gemm, Gemv
+from .sparse import (
+    CSRMatrix,
+    SpmvKernel,
+    conjugate_gradient,
+    dense_to_csr,
+    laplacian_3d,
+    random_csr,
+)
+from .stream import StreamKernel, stream_suite
+from .compiler import (
+    NO_EXTRA_FLAGS,
+    PREFETCH_LOOP_ARRAYS,
+    CompilerConfig,
+    compile_kernel,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "CappedGemv",
+    "CompilerConfig",
+    "Dot",
+    "Gemm",
+    "Gemv",
+    "NO_EXTRA_FLAGS",
+    "PREFETCH_LOOP_ARRAYS",
+    "SpmvKernel",
+    "StreamKernel",
+    "compile_kernel",
+    "conjugate_gradient",
+    "dense_to_csr",
+    "laplacian_3d",
+    "random_csr",
+    "stream_suite",
+]

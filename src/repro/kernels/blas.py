@@ -1,0 +1,305 @@
+"""Reference BLAS kernels: DOT, GEMV, capped GEMV, and GEMM.
+
+These mirror the paper's Listings 1-4: *reference* (unblocked,
+unoptimised) implementations, used purely to validate memory-traffic
+measurements — "the absolute performance achieved by these kernels is
+not relevant to this work".
+
+Each kernel is a :class:`~repro.engine.trace.KernelModel` carrying
+
+* ``compute()`` — the numerics (NumPy), for correctness tests;
+* ``streams()`` — the access-site declarations the store-bypass policy
+  and prefetcher act on;
+* ``traffic(ctx)`` — the analytic traffic law (validated against the
+  exact cache simulator at small sizes);
+* ``exact_accesses()`` — the program-ordered trace for the exact
+  engine;
+* ``expected_traffic()`` — the *paper's* expectation (dashed lines):
+  element counts × 8 bytes, caching assumed.
+
+Batched execution (one independent instance per core, Listings 2/4) is
+expressed by running the same model with ``Executor(n_cores=...)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..engine.analytic import (
+    CacheContext,
+    combine,
+    reused_read,
+    sequential_read,
+    sequential_write,
+)
+from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.trace import KernelModel
+from ..errors import ConfigurationError
+from ..machine.cache import TrafficCounters
+from ..machine.prefetch import SoftwarePrefetch
+from ..rng import substream
+from ..units import DOUBLE
+
+
+def _layout(*sizes: int, gap: int = 256, align: int = 128) -> List[int]:
+    """Base addresses for arrays allocated back-to-back with a gap.
+
+    Bases are cache-line aligned, as any allocator handling large
+    numerical arrays would; the traffic laws assume aligned streams.
+    """
+    bases = []
+    addr = 0
+    for size in sizes:
+        bases.append(addr)
+        addr += size + gap
+        addr = -(-addr // align) * align
+    return bases
+
+
+# ======================================================================
+# DOT
+# ======================================================================
+@dataclasses.dataclass
+class Dot(KernelModel):
+    """z = x · y — the kernel used in the paper's prior work [9]."""
+
+    n: int
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError("DOT needs n >= 1")
+        self.name = f"dot-{self.n}"
+
+    # numerics ---------------------------------------------------------
+    def make_inputs(self):
+        rng = substream(self.seed, self.name)
+        return (rng.standard_normal(self.n), rng.standard_normal(self.n))
+
+    def compute(self) -> float:
+        x, y = self.make_inputs()
+        return float(x @ y)
+
+    # streams / traffic --------------------------------------------------
+    def streams(self) -> List[StreamDecl]:
+        nbytes = self.n * DOUBLE
+        bx, by = _layout(nbytes, nbytes)
+        return [
+            StreamDecl("x", False, self.n, DOUBLE, DOUBLE, nbytes, base=bx),
+            StreamDecl("y", False, self.n, DOUBLE, DOUBLE, nbytes, base=by),
+        ]
+
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        nbytes = self.n * DOUBLE
+        return combine(sequential_read(nbytes, ctx),
+                       sequential_read(nbytes, ctx))
+
+    def exact_accesses(self) -> Iterator[Access]:
+        nbytes = self.n * DOUBLE
+        bx, by = _layout(nbytes, nbytes)
+        for i in range(self.n):
+            yield Access("x", bx + i * DOUBLE, DOUBLE, False)
+            yield Access("y", by + i * DOUBLE, DOUBLE, False)
+
+    def flops(self) -> float:
+        return 2.0 * self.n
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        return TrafficCounters(read_bytes=2 * self.n * DOUBLE)
+
+
+# ======================================================================
+# GEMV (Listing 1) and capped GEMV (Listing 2 / Eq. 1)
+# ======================================================================
+@dataclasses.dataclass
+class CappedGemv(KernelModel):
+    """y_i = Σ_k A[i % P, k] · x_k for 0 ≤ i < M (paper Eq. 1).
+
+    With ``p == m == n`` this *is* the plain reference GEMV of
+    Listing 1; capping ``p`` below ``m`` reuses the rows of A so that
+    the output (and hence the write traffic) can grow without the
+    matrix exhausting memory — the construction of Fig 1.
+    """
+
+    m: int
+    n: int
+    p: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.p is None:
+            self.p = min(self.m, self.n)
+        if self.m <= 0 or self.n <= 0 or self.p <= 0:
+            raise ConfigurationError("capped GEMV needs positive M, N, P")
+        if self.p > self.m:
+            raise ConfigurationError("cap P cannot exceed M")
+        self.name = f"capped-gemv-{self.m}x{self.n}p{self.p}"
+
+    @property
+    def square(self) -> bool:
+        """Is this the unmodified GEMV (no row reuse)?"""
+        return self.p == self.m
+
+    # numerics ---------------------------------------------------------
+    def make_inputs(self):
+        rng = substream(self.seed, self.name)
+        a = rng.standard_normal((self.p, self.n))
+        x = rng.standard_normal(self.n)
+        return a, x
+
+    def compute(self) -> np.ndarray:
+        """Vectorised evaluation of Eq. 1 (row i uses A[i % P])."""
+        a, x = self.make_inputs()
+        ax = a @ x  # P dot products; rows repeat with period P
+        reps = -(-self.m // self.p)
+        return np.tile(ax, reps)[: self.m]
+
+    # streams ------------------------------------------------------------
+    def streams(self) -> List[StreamDecl]:
+        a_bytes = self.p * self.n * DOUBLE
+        x_bytes = self.n * DOUBLE
+        y_bytes = self.m * DOUBLE
+        ba, bx, by = _layout(a_bytes, x_bytes, y_bytes)
+        per_row = 2 * self.n  # loads of A and x between two y stores
+        return [
+            StreamDecl("A", False, self.m * self.n, DOUBLE, DOUBLE,
+                       a_bytes, base=ba),
+            StreamDecl("x", False, self.m * self.n, DOUBLE, DOUBLE,
+                       x_bytes, base=bx),
+            StreamDecl("y", True, self.m, DOUBLE, DOUBLE, y_bytes,
+                       base=by, interarrival=per_row),
+        ]
+
+    # traffic ------------------------------------------------------------
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        a_bytes = self.p * self.n * DOUBLE
+        passes = max(1.0, self.m / self.p)
+        a = reused_read(a_bytes, passes, ctx)
+        x = reused_read(self.n * DOUBLE, min(self.m, 2), ctx)
+        y = sequential_write(self.m * DOUBLE, ctx, policies["y"])
+        return combine(a, x, y)
+
+    def exact_accesses(self) -> Iterator[Access]:
+        a_bytes = self.p * self.n * DOUBLE
+        x_bytes = self.n * DOUBLE
+        y_bytes = self.m * DOUBLE
+        ba, bx, by = _layout(a_bytes, x_bytes, y_bytes)
+        for i in range(self.m):
+            row = i % self.p
+            for k in range(self.n):
+                yield Access("A", ba + (row * self.n + k) * DOUBLE,
+                             DOUBLE, False)
+                yield Access("x", bx + k * DOUBLE, DOUBLE, False)
+            yield Access("y", by + i * DOUBLE, DOUBLE, True)
+
+    # work ---------------------------------------------------------------
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Paper §II-A: M·N + M + N element reads, M element writes.
+
+        The M term is the read-per-write on y; the expectation treats A
+        as streamed from memory every pass (true once A exceeds the
+        cache, which holds throughout the capped regime)."""
+        reads = (self.m * self.n + self.m + self.n) * DOUBLE
+        return TrafficCounters(read_bytes=reads,
+                               write_bytes=self.m * DOUBLE)
+
+
+def Gemv(m: int, n: int, seed: Optional[int] = None) -> CappedGemv:
+    """Plain reference GEMV (Listing 1): a capped GEMV with P = M."""
+    return CappedGemv(m=m, n=n, p=m, seed=seed)
+
+
+# ======================================================================
+# GEMM (Listing 3 / Eq. 2)
+# ======================================================================
+@dataclasses.dataclass
+class Gemm(KernelModel):
+    """C = A·B with square N×N double matrices (paper Eq. 2)."""
+
+    n: int
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError("GEMM needs n >= 1")
+        self.name = f"gemm-{self.n}"
+
+    # numerics ---------------------------------------------------------
+    def make_inputs(self):
+        rng = substream(self.seed, self.name)
+        a = rng.standard_normal((self.n, self.n))
+        b = rng.standard_normal((self.n, self.n))
+        return a, b
+
+    def compute(self) -> np.ndarray:
+        a, b = self.make_inputs()
+        return a @ b
+
+    # streams ------------------------------------------------------------
+    def streams(self) -> List[StreamDecl]:
+        nn = self.n * self.n
+        nbytes = nn * DOUBLE
+        ba, bb, bc = _layout(nbytes, nbytes, nbytes)
+        return [
+            # A[i][k]: k innermost -> sequential within a row.
+            StreamDecl("A", False, self.n * nn, DOUBLE, DOUBLE,
+                       nbytes, base=ba),
+            # B[k][j]: k innermost -> stride of one row (N·8 bytes); the
+            # strided stream the POWER9 prefetcher detects, which is why
+            # C's writes do not bypass the cache.
+            StreamDecl("B", False, self.n * nn, DOUBLE,
+                       self.n * DOUBLE, nbytes, base=bb),
+            # C[i][j]: one store per dot product (sparse).
+            StreamDecl("C", True, nn, DOUBLE, DOUBLE, nbytes,
+                       base=bc, interarrival=2 * self.n),
+        ]
+
+    # traffic ------------------------------------------------------------
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        nbytes = self.n * self.n * DOUBLE
+        # A: each row is reused back-to-back across j while it sits in
+        # cache, then never again -> one cold read of the matrix.
+        a = sequential_read(nbytes, ctx)
+        # B: the full matrix is swept once per outer iteration (N
+        # passes); it only avoids re-fetch if it stays cached.
+        b = reused_read(nbytes, self.n, ctx)
+        # C: written once; read-for-ownership unless bypassed (it never
+        # is: B's strided stream plus sparse stores force allocation).
+        c = sequential_write(nbytes, ctx, policies["C"])
+        return combine(a, b, c)
+
+    def exact_accesses(self) -> Iterator[Access]:
+        n = self.n
+        nbytes = n * n * DOUBLE
+        ba, bb, bc = _layout(nbytes, nbytes, nbytes)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    yield Access("A", ba + (i * n + k) * DOUBLE, DOUBLE, False)
+                    yield Access("B", bb + (k * n + j) * DOUBLE, DOUBLE, False)
+                yield Access("C", bc + (i * n + j) * DOUBLE, DOUBLE, True)
+
+    # work ---------------------------------------------------------------
+    def flops(self) -> float:
+        return 2.0 * self.n ** 3
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Paper §II-B: 3·N² element reads (A, B, and the read-per-write
+        on C), N² element writes — valid while the matrices cache."""
+        nn = self.n * self.n
+        return TrafficCounters(read_bytes=3 * nn * DOUBLE,
+                               write_bytes=nn * DOUBLE)

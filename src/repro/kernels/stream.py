@@ -1,0 +1,136 @@
+"""STREAM-style bandwidth kernels: Copy, Scale, Add, Triad.
+
+McCalpin's STREAM operations are the canonical known-traffic
+microbenchmarks; the Counter Analysis Toolkit (:mod:`repro.cat`) uses
+them as probes whose exact expected byte counts validate the identity
+and reliability of memory-traffic events — the paper's stated
+commitment that PAPI performs "thorough validation of the hardware
+events exposed to the user to account for unreliable counters".
+
+All four operations stream dense unit-stride data, so on POWER9 their
+stores bypass the cache (no read-for-ownership) and the expected
+traffic is simply the element counts:
+
+========  ================  ==============  ==============
+op        definition        reads (elems)   writes (elems)
+========  ================  ==============  ==============
+copy      c[i] = a[i]       N               N
+scale     b[i] = q·c[i]     N               N
+add       c[i] = a[i]+b[i]  2N              N
+triad     a[i] = b[i]+q·c[i] 2N             N
+========  ================  ==============  ==============
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..engine.analytic import CacheContext, combine, sequential_read, sequential_write
+from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.trace import KernelModel
+from ..errors import ConfigurationError
+from ..machine.cache import TrafficCounters
+from ..machine.prefetch import SoftwarePrefetch
+from ..rng import substream
+from ..units import DOUBLE
+
+#: op name -> (number of source arrays, flops per element)
+_OPS = {
+    "copy": (1, 0.0),
+    "scale": (1, 1.0),
+    "add": (2, 1.0),
+    "triad": (2, 2.0),
+}
+
+
+@dataclasses.dataclass
+class StreamKernel(KernelModel):
+    """One STREAM operation over N doubles per array."""
+
+    op: str
+    n: int
+    q: float = 3.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"unknown STREAM op {self.op!r}; choose from {sorted(_OPS)}")
+        if self.n <= 0:
+            raise ConfigurationError("STREAM needs n >= 1")
+        self.name = f"stream-{self.op}-{self.n}"
+
+    @property
+    def n_sources(self) -> int:
+        return _OPS[self.op][0]
+
+    # ------------------------------------------------------- numerics
+    def make_inputs(self):
+        rng = substream(self.seed, self.name)
+        return [rng.standard_normal(self.n) for _ in range(self.n_sources)]
+
+    def compute(self) -> np.ndarray:
+        srcs = self.make_inputs()
+        if self.op == "copy":
+            return srcs[0].copy()
+        if self.op == "scale":
+            return self.q * srcs[0]
+        if self.op == "add":
+            return srcs[0] + srcs[1]
+        return srcs[0] + self.q * srcs[1]  # triad
+
+    # -------------------------------------------------------- streams
+    def _bases(self) -> List[int]:
+        """Line-aligned base addresses for the source and dest arrays."""
+        from .blas import _layout
+
+        nbytes = self.n * DOUBLE
+        return _layout(*([nbytes] * (self.n_sources + 1)))
+
+    def streams(self) -> List[StreamDecl]:
+        nbytes = self.n * DOUBLE
+        bases = self._bases()
+        decls = []
+        for i in range(self.n_sources):
+            decls.append(StreamDecl(f"src{i}", False, self.n, DOUBLE,
+                                    DOUBLE, nbytes, base=bases[i]))
+        decls.append(StreamDecl("dst", True, self.n, DOUBLE, DOUBLE,
+                                nbytes, base=bases[-1], interarrival=1))
+        return decls
+
+    # -------------------------------------------------------- traffic
+    def traffic(self, ctx: CacheContext,
+                prefetch: SoftwarePrefetch = SoftwarePrefetch()
+                ) -> TrafficCounters:
+        policies = resolve_policies(self.streams(), prefetch)
+        nbytes = self.n * DOUBLE
+        parts = [sequential_read(nbytes, ctx)
+                 for _ in range(self.n_sources)]
+        parts.append(sequential_write(nbytes, ctx, policies["dst"]))
+        return combine(*parts)
+
+    def exact_accesses(self) -> Iterator[Access]:
+        bases = self._bases()
+        for i in range(self.n):
+            for idx in range(self.n_sources):
+                yield Access(f"src{idx}", bases[idx] + i * DOUBLE,
+                             DOUBLE, False)
+            yield Access("dst", bases[-1] + i * DOUBLE, DOUBLE, True)
+
+    # ----------------------------------------------------------- work
+    def flops(self) -> float:
+        return _OPS[self.op][1] * self.n
+
+    def expected_traffic(self, granule: int = 64) -> TrafficCounters:
+        """Known traffic: element counts × 8 B, stores bypassing."""
+        nbytes = self.n * DOUBLE
+        return TrafficCounters(read_bytes=self.n_sources * nbytes,
+                               write_bytes=nbytes)
+
+
+def stream_suite(n: int, seed: Optional[int] = None) -> List[StreamKernel]:
+    """All four STREAM kernels at size ``n``."""
+    return [StreamKernel(op, n, seed=seed) for op in sorted(_OPS)]

@@ -1,0 +1,112 @@
+"""Thread-affinity model: pinning software threads to hardware.
+
+"In our experiments, we pin only one thread to each physical core."
+POWER9 runs SMT4, so each physical core exposes four hardware threads;
+job launchers on Summit (jsrun) pin OpenMP threads to hardware-thread
+sets. This module models the three pinning policies those launchers
+offer and resolves them to the physical cores the executor occupies:
+
+* ``one-per-core`` — the paper's setting: thread *i* on the first
+  hardware thread of physical core *i*;
+* ``compact`` — fill all SMT slots of a core before moving on (4
+  threads per core on POWER9);
+* ``scatter`` — round-robin across sockets first, then cores, to
+  balance bandwidth-bound work across both nests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..pmu.events import SMT_PER_CORE
+from .config import MachineConfig
+from .node import Node
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadBinding:
+    """Placement of one software thread."""
+
+    thread_id: int
+    core_id: int        # global physical core id on the node
+    hw_thread: int      # global hardware thread id (cpu number)
+    socket_id: int
+
+
+def hw_thread_of(machine: MachineConfig, core_id: int, slot: int = 0) -> int:
+    """Hardware-thread (cpu) number for SMT ``slot`` of ``core_id``."""
+    if not 0 <= slot < SMT_PER_CORE:
+        raise ConfigurationError(f"SMT slot {slot} out of range")
+    return core_id * SMT_PER_CORE + slot
+
+
+def pin_threads(node: Node, n_threads: int,
+                policy: str = "one-per-core") -> List[ThreadBinding]:
+    """Resolve a pinning policy to concrete thread bindings.
+
+    Reserved cores (set aside for system service tasks) are never
+    assigned, mirroring Summit's isolated core.
+    """
+    machine = node.config
+    usable: List[Tuple[int, int]] = []  # (core_id, socket_id)
+    for socket in node.sockets:
+        for core in socket.usable_cores:
+            usable.append((core.core_id, socket.socket_id))
+    if n_threads < 1:
+        raise ConfigurationError("need at least one thread")
+
+    if policy == "one-per-core":
+        capacity = len(usable)
+        if n_threads > capacity:
+            raise ConfigurationError(
+                f"{n_threads} threads > {capacity} usable cores "
+                "(one-per-core pinning)")
+        chosen = [(usable[i], 0) for i in range(n_threads)]
+    elif policy == "compact":
+        capacity = len(usable) * SMT_PER_CORE
+        if n_threads > capacity:
+            raise ConfigurationError(
+                f"{n_threads} threads > {capacity} hardware threads")
+        chosen = [(usable[i // SMT_PER_CORE], i % SMT_PER_CORE)
+                  for i in range(n_threads)]
+    elif policy == "scatter":
+        capacity = len(usable)
+        if n_threads > capacity:
+            raise ConfigurationError(
+                f"{n_threads} threads > {capacity} usable cores "
+                "(scatter pinning)")
+        # Interleave sockets: 0, n/2, 1, n/2+1, ...
+        by_socket: dict = {}
+        for entry in usable:
+            by_socket.setdefault(entry[1], []).append(entry)
+        order = []
+        queues = [list(v) for _, v in sorted(by_socket.items())]
+        while any(queues):
+            for q in queues:
+                if q:
+                    order.append(q.pop(0))
+        chosen = [(order[i], 0) for i in range(n_threads)]
+    else:
+        raise ConfigurationError(
+            f"unknown pinning policy {policy!r}; use one-per-core, "
+            "compact, or scatter")
+
+    bindings = []
+    for tid, ((core_id, socket_id), slot) in enumerate(chosen):
+        bindings.append(ThreadBinding(
+            thread_id=tid,
+            core_id=core_id,
+            hw_thread=hw_thread_of(machine, core_id, slot),
+            socket_id=socket_id,
+        ))
+    return bindings
+
+
+def cores_per_socket(bindings: List[ThreadBinding]) -> dict:
+    """Distinct physical cores occupied per socket (executor input)."""
+    out: dict = {}
+    for b in bindings:
+        out.setdefault(b.socket_id, set()).add(b.core_id)
+    return {sid: len(cores) for sid, cores in out.items()}

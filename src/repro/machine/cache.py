@@ -1,0 +1,262 @@
+"""Exact sectored, set-associative cache simulator.
+
+This is the ground-truth model used to validate the fast analytic
+traffic laws in :mod:`repro.engine.analytic` (see DESIGN.md §6). It
+models a POWER9-style L3 slice:
+
+* tags are kept at *line* granularity (128 B by default) with true LRU
+  replacement within each set;
+* data is fetched from memory at *sector* (granule) granularity (64 B,
+  i.e. half lines), matching the POWER9 ability to "fetch only 64 bytes
+  of data (half cache lines)";
+* stores either *write-allocate* (read-for-ownership traffic for the
+  missing sector, then dirty write-back on eviction) or *bypass* the
+  cache entirely through a write-combining buffer that gathers
+  consecutive bytes and emits one 64 B transaction per touched sector.
+
+The simulator exposes byte-accurate read/write memory-traffic counters
+via :class:`TrafficCounters`, which the nest counter block consumes.
+
+Performance note (per the HPC guides: measure, then optimise): the
+per-access loop is pure Python over dict-based sets — exact simulation
+is only used on small footprints in tests; the figures are driven by
+the vectorised analytic model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .config import CacheConfig
+
+
+@dataclasses.dataclass
+class TrafficCounters:
+    """Accumulated memory traffic in bytes (64 B transaction multiples)."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    def add(self, other: "TrafficCounters") -> None:
+        self.read_bytes += other.read_bytes
+        self.write_bytes += other.write_bytes
+
+    def scaled(self, factor: float) -> "TrafficCounters":
+        return TrafficCounters(
+            read_bytes=int(round(self.read_bytes * factor)),
+            write_bytes=int(round(self.write_bytes * factor)),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def __iter__(self):
+        yield self.read_bytes
+        yield self.write_bytes
+
+
+class _Line:
+    """State of one resident cache line (valid/dirty bits per sector)."""
+
+    __slots__ = ("valid_mask", "dirty_mask")
+
+    def __init__(self) -> None:
+        self.valid_mask = 0
+        self.dirty_mask = 0
+
+
+class CacheSim:
+    """Exact sectored set-associative cache with LRU replacement.
+
+    Addresses are plain byte addresses in a flat simulated address
+    space; allocation of that space is managed by the engine layer.
+    """
+
+    #: Supported replacement policies.
+    POLICIES = ("lru", "fifo")
+
+    def __init__(self, config: CacheConfig, policy: str = "lru"):
+        if policy not in self.POLICIES:
+            raise SimulationError(
+                f"unknown replacement policy {policy!r}; "
+                f"choose from {self.POLICIES}")
+        self.policy = policy
+        self.config = config
+        self.line_bytes = config.line_bytes
+        self.granule = config.granule_bytes
+        self.sectors_per_line = config.line_bytes // config.granule_bytes
+        self.n_sets = config.n_sets
+        self.assoc = config.associativity
+        # One ordered dict per set: tag -> _Line, LRU order = insertion
+        # order with move_to_end on touch.
+        self._sets: Tuple["OrderedDict[int, _Line]", ...] = tuple(
+            OrderedDict() for _ in range(self.n_sets)
+        )
+        self.traffic = TrafficCounters()
+        # Write-combining buffer for bypassed (streaming) stores:
+        # sector address -> count of bytes gathered.
+        self._wcb: Dict[int, int] = {}
+        self.stats_hits = 0
+        self.stats_misses = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _split(self, addr: int) -> Tuple[int, int, int]:
+        """Return (set index, tag, sector index within line) for ``addr``."""
+        line_id = addr // self.line_bytes
+        sector = (addr % self.line_bytes) // self.granule
+        return line_id % self.n_sets, line_id, sector
+
+    # ------------------------------------------------------------------
+    # core access path
+    # ------------------------------------------------------------------
+    def access(self, addr: int, size: int, is_write: bool,
+               bypass: bool = False) -> None:
+        """Perform one memory access of ``size`` bytes at ``addr``.
+
+        Accesses are split at sector boundaries; each sector is handled
+        independently (hardware would do the same via separate beats).
+        """
+        if size <= 0:
+            raise SimulationError(f"access size must be positive, got {size}")
+        end = addr + size
+        while addr < end:
+            sector_end = (addr // self.granule + 1) * self.granule
+            chunk = min(end, sector_end) - addr
+            self._access_sector(addr, chunk, is_write, bypass)
+            addr += chunk
+
+    def _access_sector(self, addr: int, size: int, is_write: bool,
+                       bypass: bool) -> None:
+        if is_write and bypass:
+            self._bypass_store(addr, size)
+            return
+        set_idx, tag, sector = self._split(addr)
+        cache_set = self._sets[set_idx]
+        line = cache_set.get(tag)
+        sector_bit = 1 << sector
+        if line is not None and line.valid_mask & sector_bit:
+            # sector hit; LRU refreshes recency, FIFO does not.
+            if self.policy == "lru":
+                cache_set.move_to_end(tag)
+            if is_write:
+                line.dirty_mask |= sector_bit
+            self.stats_hits += 1
+            return
+        self.stats_misses += 1
+        if line is None:
+            line = self._install(cache_set, tag)
+        elif self.policy == "lru":
+            cache_set.move_to_end(tag)
+        # Demand fetch of the missing sector (read-for-ownership applies
+        # to write-allocate stores as well — this is the "read per
+        # write" the paper observes for cached stores).
+        self.traffic.read_bytes += self.granule
+        line.valid_mask |= sector_bit
+        if is_write:
+            line.dirty_mask |= sector_bit
+
+    def _install(self, cache_set: "OrderedDict[int, _Line]",
+                 tag: int) -> _Line:
+        """Insert a new line, evicting the LRU line if the set is full."""
+        if len(cache_set) >= self.assoc:
+            _, victim = cache_set.popitem(last=False)
+            self._write_back(victim)
+        line = _Line()
+        cache_set[tag] = line
+        return line
+
+    def _write_back(self, line: _Line) -> None:
+        mask = line.dirty_mask
+        while mask:
+            mask &= mask - 1  # clear lowest set bit; one sector written
+            self.traffic.write_bytes += self.granule
+
+    # ------------------------------------------------------------------
+    # streaming (cache-bypassing) stores
+    # ------------------------------------------------------------------
+    def _bypass_store(self, addr: int, size: int) -> None:
+        """Gather a bypassed store into the write-combining buffer.
+
+        Full sectors (or the gathered fragments of one) are emitted to
+        memory as single 64 B write transactions when the buffer is
+        drained; no read-for-ownership traffic occurs. This reproduces
+        the POWER9 behaviour where stride-free store streams bypass the
+        cache ("the writes indeed bypass the cache").
+        """
+        sector_addr = (addr // self.granule) * self.granule
+        self._wcb[sector_addr] = self._wcb.get(sector_addr, 0) + size
+        if self._wcb[sector_addr] >= self.granule:
+            del self._wcb[sector_addr]
+            self.traffic.write_bytes += self.granule
+        elif len(self._wcb) > 64:
+            # Hardware WCBs are small; drain the oldest entry as a full
+            # transaction when the buffer overflows.
+            old_addr = next(iter(self._wcb))
+            del self._wcb[old_addr]
+            self.traffic.write_bytes += self.granule
+
+    # ------------------------------------------------------------------
+    # bulk helpers used by the exact engine
+    # ------------------------------------------------------------------
+    def access_many(self, addrs: Iterable[int], size: int, is_write: bool,
+                    bypass: bool = False) -> None:
+        """Access each address in ``addrs`` with a fixed ``size``."""
+        for a in addrs:
+            self.access(int(a), size, is_write, bypass)
+
+    def touch_array(self, base: int, count: int, elem_size: int,
+                    stride: int, is_write: bool, bypass: bool = False) -> None:
+        """Access ``count`` elements starting at ``base`` with ``stride``
+        bytes between element starts (vector-described strided stream)."""
+        addrs = base + stride * np.arange(count, dtype=np.int64)
+        self.access_many(addrs.tolist(), elem_size, is_write, bypass)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back all dirty data and invalidate the cache; drain the
+        write-combining buffer. Counts write-back traffic."""
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                self._write_back(line)
+            cache_set.clear()
+        for _ in list(self._wcb):
+            self.traffic.write_bytes += self.granule
+        self._wcb.clear()
+
+    def invalidate(self) -> None:
+        """Drop all cache state *without* counting write-back traffic
+        (used between independent experiment repetitions)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._wcb.clear()
+
+    def resident_bytes(self) -> int:
+        """Bytes of valid data currently resident (sector granularity)."""
+        total = 0
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                total += bin(line.valid_mask).count("1") * self.granule
+        return total
+
+    def dirty_bytes(self) -> int:
+        total = 0
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                total += bin(line.dirty_mask).count("1") * self.granule
+        return total
+
+    def reset_traffic(self) -> TrafficCounters:
+        """Return and zero the accumulated traffic counters."""
+        out = self.traffic
+        self.traffic = TrafficCounters()
+        return out

@@ -1,0 +1,263 @@
+"""Machine descriptions for the simulated systems used in the paper.
+
+Three configurations are provided:
+
+* :data:`SUMMIT` — one compute node of the Summit supercomputer: two
+  sockets of 22-core IBM POWER9 (21 usable per socket), 10 MB of L3 per
+  core pair, six NVIDIA V100 GPUs (three per socket) and two Mellanox
+  ConnectX-5 EDR ports. Users are *unprivileged*: the nest counters can
+  only be reached through the PCP daemon.
+* :data:`TELLICO` — the UTK testbed: two sockets of 16-core POWER9 where
+  the user *is* privileged, so nest counters are read directly
+  (perf_uncore path).
+* :data:`SKYLAKE` — a generic Intel Skylake-like socket used by the paper
+  to show the extraneous-write phenomenon is not POWER9-specific.
+
+All capacities and granularities that drive the analysis (128 B lines,
+64 B memory granules, 5 MB effective L3 per core, idle-slice
+re-appropriation) are encoded here so every other module derives its
+behaviour from a single source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..units import MIB
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``capacity_bytes`` is the total capacity of one slice/instance;
+    ``line_bytes`` the coherence-line size; ``granule_bytes`` the memory
+    transaction size (POWER9 fetches half-lines from memory);
+    ``associativity`` the number of ways per set.
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 128
+    granule_bytes: int = 64
+    associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if self.line_bytes <= 0 or self.line_bytes % self.granule_bytes:
+            raise ConfigurationError(
+                "line size must be a positive multiple of the granule"
+            )
+        if self.capacity_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                "capacity must be divisible by line_bytes * associativity"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefetchConfig:
+    """Hardware stream-prefetcher behaviour.
+
+    ``detect_threshold`` consecutive accesses with a stable stride are
+    required before a stream is considered *detected*. Detected streams
+    disable the streaming-store cache bypass (POWER9 behaviour observed
+    in the paper: "in the presence of a strided data stream, the writes
+    to variables will not bypass the cache").
+    """
+
+    detect_threshold: int = 4
+    max_streams: int = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUConfig:
+    """One GPU attached to a socket (NVIDIA Tesla V100-like)."""
+
+    name: str = "Tesla_V100-SXM2-16GB"
+    memory_bytes: int = 16 * 1024 * MIB
+    idle_power_w: float = 40.0
+    peak_power_w: float = 300.0
+    #: Sustained device FFT throughput used by the timing model (FLOP/s).
+    flops: float = 7.0e12
+    #: Host<->device DMA bandwidth (bytes/s) — NVLink 2.0-like.
+    dma_bandwidth: float = 50.0e9
+
+
+@dataclasses.dataclass(frozen=True)
+class NICConfig:
+    """One InfiniBand port (Mellanox ConnectX-5-like)."""
+
+    name: str = "mlx5_0"
+    port: int = 1
+    bandwidth: float = 12.5e9  # EDR 100 Gb/s in bytes/s
+
+
+@dataclasses.dataclass(frozen=True)
+class SocketConfig:
+    """One CPU socket: cores, L3 slices, memory channels and the nest.
+
+    POWER9 organises cores in pairs sharing a 10 MB L3 slice; the nest
+    contains eight memory-controller channels (MBA 0-7), each with a
+    read-bytes and a write-bytes counter.
+    """
+
+    n_cores: int
+    cores_per_pair: int = 2
+    l3_slice: CacheConfig = dataclasses.field(
+        default_factory=lambda: CacheConfig(capacity_bytes=10 * MIB)
+    )
+    n_memory_channels: int = 8
+    core_frequency_hz: float = 3.07e9
+    #: Sustained per-core double-precision rate for the timing model.
+    core_flops: float = 8.0e9
+    #: Sustained memory bandwidth per socket (bytes/s).
+    memory_bandwidth: float = 120.0e9
+    prefetch: PrefetchConfig = dataclasses.field(default_factory=PrefetchConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError("socket needs at least one core")
+        if self.n_cores % self.cores_per_pair:
+            raise ConfigurationError("n_cores must be divisible by cores_per_pair")
+        if self.n_memory_channels <= 0:
+            raise ConfigurationError("socket needs at least one memory channel")
+
+    @property
+    def n_core_pairs(self) -> int:
+        return self.n_cores // self.cores_per_pair
+
+    @property
+    def l3_total_bytes(self) -> int:
+        """Aggregate L3 capacity of the socket."""
+        return self.n_core_pairs * self.l3_slice.capacity_bytes
+
+    @property
+    def l3_per_core_bytes(self) -> int:
+        """L3 available to one core when all cores are busy (no sharing)."""
+        return self.l3_slice.capacity_bytes // self.cores_per_pair
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """A full compute node."""
+
+    name: str
+    arch: str
+    n_sockets: int
+    socket: SocketConfig
+    gpus_per_socket: int = 0
+    gpu: Optional[GPUConfig] = None
+    nics: Tuple[NICConfig, ...] = ()
+    #: Whether the (simulated) user has the elevated privileges needed to
+    #: read the nest counters directly via perf_uncore.
+    user_privileged: bool = False
+    #: Cores reserved for system service tasks, per socket (Summit sets
+    #: one aside; it is invisible to user jobs).
+    reserved_cores_per_socket: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sockets <= 0:
+            raise ConfigurationError("machine needs at least one socket")
+        if self.gpus_per_socket and self.gpu is None:
+            raise ConfigurationError("gpus_per_socket set but no GPUConfig given")
+        if self.reserved_cores_per_socket >= self.socket.n_cores:
+            raise ConfigurationError("cannot reserve every core on the socket")
+
+    @property
+    def usable_cores_per_socket(self) -> int:
+        return self.socket.n_cores - self.reserved_cores_per_socket
+
+    @property
+    def total_usable_cores(self) -> int:
+        return self.n_sockets * self.usable_cores_per_socket
+
+
+#: Summit compute node (two 22-core POWER9 sockets, 21 usable each,
+#: 110 MB L3 per socket, V100 GPUs, unprivileged user -> PCP required).
+SUMMIT = MachineConfig(
+    name="summit",
+    arch="IBM POWER9",
+    n_sockets=2,
+    socket=SocketConfig(n_cores=22),
+    gpus_per_socket=3,
+    gpu=GPUConfig(),
+    nics=(NICConfig(name="mlx5_0"), NICConfig(name="mlx5_1")),
+    user_privileged=False,
+    reserved_cores_per_socket=1,
+)
+
+#: Tellico testbed (two 16-core POWER9 sockets, privileged user ->
+#: direct perf_uncore access to the nest counters).
+TELLICO = MachineConfig(
+    name="tellico",
+    arch="IBM POWER9",
+    n_sockets=2,
+    socket=SocketConfig(n_cores=16),
+    user_privileged=True,
+)
+
+#: Generic Intel Skylake-like socket: 64 B lines fetched whole (granule =
+#: line), 1.375 MB L3 slice per core, used to show the extraneous-write
+#: behaviour is not POWER9-specific.
+SKYLAKE = MachineConfig(
+    name="skylake",
+    arch="Intel Skylake",
+    n_sockets=1,
+    socket=SocketConfig(
+        n_cores=16,
+        cores_per_pair=1,
+        l3_slice=CacheConfig(
+            capacity_bytes=1408 * 1024, line_bytes=64, granule_bytes=64,
+            associativity=11,
+        ),
+        n_memory_channels=6,
+        core_frequency_hz=2.1e9,
+    ),
+    user_privileged=True,
+)
+
+
+#: IBM POWER10-class node — the paper's stated future work ("extend
+#: these techniques to accurately measure memory traffic for other BLAS
+#: operations in upcoming IBM systems (e.g. POWER10)"). 15 usable SMT8
+#: cores per socket, 8 MB of L3 per core (120 MB per socket), and an
+#: OMI-based memory subsystem with 16 channels. The user is modelled as
+#: unprivileged, so the PCP path remains the relevant one.
+POWER10 = MachineConfig(
+    name="power10",
+    arch="IBM POWER10",
+    n_sockets=2,
+    socket=SocketConfig(
+        n_cores=16,
+        cores_per_pair=2,
+        l3_slice=CacheConfig(capacity_bytes=16 * MIB),
+        n_memory_channels=16,
+        core_frequency_hz=3.5e9,
+        core_flops=16.0e9,
+        memory_bandwidth=400.0e9,
+    ),
+    user_privileged=False,
+    reserved_cores_per_socket=1,
+)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look up a built-in machine configuration by name."""
+    table = {"summit": SUMMIT, "tellico": TELLICO, "skylake": SKYLAKE,
+             "power10": POWER10}
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; available: {sorted(table)}"
+        ) from None

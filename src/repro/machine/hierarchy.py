@@ -1,0 +1,100 @@
+"""L3 slice topology: local slices, contention, and re-appropriation.
+
+Summit's POWER9 sockets have 21 usable cores in 11 core pairs, each pair
+owning a 10 MB L3 slice (110 MB per socket). The paper's single-thread
+versus batched GEMM comparison hinges on two facts encoded here:
+
+* **Re-appropriation** — "when the other cores on the same socket are
+  idle, *their* local L3 cache slices can be re-appropriated by the
+  active core, giving the active core 110 MB worth of cache". Hence a
+  single-threaded GEMM sees *no* traffic jump at the 5 MB-per-core
+  boundary (N ≈ 809).
+* **Spillover inefficiency** — data resident in *remote* slices is less
+  durable (victimised by lateral cast-outs and daemon activity on the
+  owning pair), producing the *gradual* extra traffic the paper observes
+  for single-threaded runs on both Summit and Tellico (Figs 2-4),
+  independent of the measurement path.
+
+When every core is busy (batched kernels), each core is confined to its
+5 MB share and the expectations hold exactly until the per-core working
+set exceeds 5 MB, at which point traffic "jumps drastically".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from .config import SocketConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheShare:
+    """Effective L3 resources available to one core."""
+
+    #: Bytes in the core's own (pair-local) slice share.
+    local_bytes: int
+    #: Bytes re-appropriated from idle remote slices.
+    remote_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.local_bytes + self.remote_bytes
+
+
+class L3Topology:
+    """Slice accounting for one socket."""
+
+    #: Per-pass probability that a byte resident in a *remote* slice is
+    #: lost to lateral cast-outs / prefetch overshoot and re-fetched
+    #: from memory. Small per pass, but kernels like GEMM make O(N)
+    #: passes over their working set, so the aggregate extra traffic
+    #: grows with problem size — the gradual single-thread divergence
+    #: of Figs 2-4a. Calibrated so measured/expected reaches ~3-5x at
+    #: N≈2000 (qualitative match to Fig 3a).
+    REMOTE_SLICE_MISS_FACTOR = 0.004
+
+    def __init__(self, socket: SocketConfig, usable_cores: int):
+        if usable_cores <= 0 or usable_cores > socket.n_cores:
+            raise ConfigurationError(
+                f"usable_cores={usable_cores} out of range for socket"
+            )
+        self.socket = socket
+        self.usable_cores = usable_cores
+
+    # ------------------------------------------------------------------
+    def share_for(self, active_cores: int) -> CacheShare:
+        """Effective capacity per active core for a run using
+        ``active_cores`` cores on this socket."""
+        if active_cores <= 0:
+            raise ConfigurationError("active_cores must be positive")
+        active_cores = min(active_cores, self.usable_cores)
+        local = self.socket.l3_per_core_bytes
+        total_l3 = self.socket.l3_total_bytes
+        # Idle capacity is shared equally among active cores.
+        idle_capacity = max(0, total_l3 - active_cores * local)
+        if active_cores >= self.usable_cores:
+            idle_capacity = 0
+        remote = idle_capacity // active_cores if idle_capacity else 0
+        return CacheShare(local_bytes=local, remote_bytes=remote)
+
+    def effective_capacity(self, active_cores: int) -> int:
+        return self.share_for(active_cores).total_bytes
+
+    # ------------------------------------------------------------------
+    def spill_extra_read_fraction(self, footprint_bytes: int,
+                                  active_cores: int) -> float:
+        """Fractional *extra* read traffic caused by remote-slice spill.
+
+        For a working set of ``footprint_bytes`` that is reused from
+        cache, the part held in remote slices is re-fetched from memory
+        with probability :data:`REMOTE_SLICE_MISS_FACTOR` per pass. The
+        returned value is the expected extra traffic as a fraction of
+        the *footprint*; it is zero when the footprint fits in the local
+        share or when all cores are active (no remote slices).
+        """
+        share = self.share_for(active_cores)
+        if share.remote_bytes == 0 or footprint_bytes <= share.local_bytes:
+            return 0.0
+        spilled = min(footprint_bytes, share.total_bytes) - share.local_bytes
+        return self.REMOTE_SLICE_MISS_FACTOR * spilled / footprint_bytes

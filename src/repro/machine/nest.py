@@ -1,0 +1,83 @@
+"""The POWER9 "nest" counter block and its privilege gate.
+
+The nest (IBM's name for the uncore) hosts the memory-traffic counters.
+Because the memory subsystem is shared between all processes on the
+socket, reading these counters requires elevated privileges — the exact
+restriction that motivates routing measurements through the PCP daemon
+on Summit. :class:`NestCounterBlock` therefore checks the *privilege*
+of the caller on every read: the PMCD daemon holds a privileged handle,
+ordinary user code does not.
+
+Event naming follows the Nest IMC Memory Offsets from the POWER9 PMU
+User's Guide: ``PM_MBA{ch}_READ_BYTES`` / ``PM_MBA{ch}_WRITE_BYTES``
+for channels 0-7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import PrivilegeError, SimulationError
+from .memory import MemoryController
+
+
+def nest_event_names(n_channels: int = 8) -> List[str]:
+    """All nest memory-traffic event names for one socket."""
+    names = []
+    for ch in range(n_channels):
+        names.append(f"PM_MBA{ch}_READ_BYTES")
+        names.append(f"PM_MBA{ch}_WRITE_BYTES")
+    return names
+
+
+class NestCounterBlock:
+    """Privileged read access to one socket's memory-channel counters."""
+
+    def __init__(self, socket_id: int, controller: MemoryController):
+        self.socket_id = socket_id
+        self._controller = controller
+
+    @property
+    def event_names(self) -> List[str]:
+        return nest_event_names(self._controller.n_channels)
+
+    def read_event(self, name: str, privileged: bool) -> int:
+        """Read one counter value; raises unless ``privileged``.
+
+        ``privileged`` reflects the credential of the *reader* — the
+        PMCD daemon passes True, direct user reads pass the machine's
+        ``user_privileged`` flag (True only on Tellico/Skylake here).
+        """
+        if not privileged:
+            raise PrivilegeError(
+                "reading nest (uncore) counters requires elevated "
+                "privileges; use the PCP component instead"
+            )
+        parsed = self.parse_event(name)
+        channel = self._controller.channels[parsed["channel"]]
+        return channel.write_bytes if parsed["write"] else channel.read_bytes
+
+    def read_all(self, privileged: bool) -> Dict[str, int]:
+        return {name: self.read_event(name, privileged)
+                for name in self.event_names}
+
+    def parse_event(self, name: str) -> Dict[str, int]:
+        """Parse ``PM_MBA{ch}_{READ|WRITE}_BYTES`` into its fields."""
+        if not name.startswith("PM_MBA") or not name.endswith("_BYTES"):
+            raise SimulationError(f"not a nest memory event: {name!r}")
+        body = name[len("PM_MBA"):-len("_BYTES")]
+        for direction, is_write in (("_READ", False), ("_WRITE", True)):
+            if body.endswith(direction):
+                ch_text = body[: -len(direction)]
+                break
+        else:
+            raise SimulationError(f"not a nest memory event: {name!r}")
+        try:
+            ch = int(ch_text)
+        except ValueError:
+            raise SimulationError(f"bad channel in event {name!r}") from None
+        if not 0 <= ch < self._controller.n_channels:
+            raise SimulationError(
+                f"channel {ch} out of range 0..{self._controller.n_channels - 1}"
+            )
+        return {"channel": ch, "write": int(is_write)}

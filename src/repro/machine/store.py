@@ -1,0 +1,106 @@
+"""Store-handling policy: write-allocate versus streaming bypass.
+
+The paper's central micro-architectural observation is that POWER9 (and
+Skylake) stores *usually* cost a read from memory ("most modern hardware
+architectures will impose a read operation for each element written"),
+**except** when the store stream is stride-free and no strided stream is
+active on the core, in which case the stores bypass the cache and no
+read-for-ownership occurs. Software prefetch of the store target
+(``dcbtst``) re-enables the read.
+
+:func:`resolve_store_policy` encodes that decision table; both the exact
+engine and the analytic engine consult it so the two models can never
+disagree on policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from .prefetch import SoftwarePrefetch, StreamDetector
+
+
+class StorePolicy(enum.Enum):
+    """How a store stream interacts with the cache and memory."""
+
+    #: Stores gather in a write-combining buffer and go straight to
+    #: memory: one 64 B write transaction per sector, **no** read.
+    BYPASS = "bypass"
+    #: Stores allocate in the cache: one read-for-ownership per missing
+    #: sector, dirty data written back later — "a read per write".
+    WRITE_ALLOCATE = "write-allocate"
+
+
+#: A store stream qualifies as *dense* (gatherable into full-line
+#: streaming stores) when at most this many other accesses separate
+#: consecutive stores. Copy loops have interarrival 1; arithmetic
+#: kernels that store one result per dot product (GEMV: one store per
+#: 2·N loads) are sparse and cannot sustain the gathering window.
+DENSE_INTERARRIVAL_MAX = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreContext:
+    """Everything the policy decision depends on for one store stream."""
+
+    #: Is the store stream itself sequential (unit stride)?
+    sequential: bool
+    #: Is any strided (non-unit) data stream detected on the core?
+    strided_stream_active: bool
+    #: Number of other memory accesses between consecutive stores of
+    #: this stream (1 = back-to-back copy loop).
+    interarrival: int = 1
+    #: Compiler-inserted prefetches in effect for this loop nest.
+    prefetch: SoftwarePrefetch = SoftwarePrefetch()
+
+    @property
+    def dense(self) -> bool:
+        return self.interarrival <= DENSE_INTERARRIVAL_MAX
+
+
+def resolve_store_policy(ctx: StoreContext) -> StorePolicy:
+    """Decide whether a store stream bypasses the cache.
+
+    Decision table (from the paper's GEMM/GEMV/S1CF/S2CF observations):
+
+    ==========================  ==================
+    condition                   policy
+    ==========================  ==================
+    ``dcbtst`` prefetch         WRITE_ALLOCATE
+    strided stream on core      WRITE_ALLOCATE
+    store stream itself strided WRITE_ALLOCATE
+    store stream sparse         WRITE_ALLOCATE
+    otherwise (dense seq.)      BYPASS
+    ==========================  ==================
+
+    The sparse row covers GEMV/GEMM result vectors: one store per dot
+    product cannot be gathered into full-line streaming stores, so the
+    hardware write-allocates — "M reads are incurred by the hardware
+    when writing into the vector y". Dense sequential copies (S1CF loop
+    nest 1, S2CF) bypass the cache and show *no* read-per-write.
+    """
+    if ctx.prefetch.forces_store_read:
+        return StorePolicy.WRITE_ALLOCATE
+    if ctx.strided_stream_active:
+        return StorePolicy.WRITE_ALLOCATE
+    if not ctx.sequential:
+        return StorePolicy.WRITE_ALLOCATE
+    if not ctx.dense:
+        return StorePolicy.WRITE_ALLOCATE
+    return StorePolicy.BYPASS
+
+
+def store_policy_for(detector: StreamDetector, sequential: bool,
+                     prefetch: SoftwarePrefetch = SoftwarePrefetch(),
+                     elem_size: int = 8,
+                     interarrival: int = 1) -> StorePolicy:
+    """Convenience wrapper deriving :class:`StoreContext` from a live
+    :class:`~repro.machine.prefetch.StreamDetector`."""
+    ctx = StoreContext(
+        sequential=sequential,
+        strided_stream_active=detector.any_strided_detected(elem_size),
+        interarrival=interarrival,
+        prefetch=prefetch,
+    )
+    return resolve_store_policy(ctx)

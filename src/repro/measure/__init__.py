@@ -1,0 +1,60 @@
+"""Measurement methodology: expectations and divergence bands (Eqs.
+3/4/7), adaptive repetitions (Eq. 5), measurement sessions, and the
+multi-component timeline profiler."""
+
+from .derived import DerivedMetrics, from_measurement
+from .expectations import (
+    CAPPED_GEMV_TRANSITION,
+    Band,
+    gemm_divergence_band,
+    gemm_expected_bytes,
+    gemv_expected_bytes,
+    resort_expected_bytes,
+    s1cf_ln2_boundary,
+)
+from .repetition import (
+    PAPER_POLICY,
+    RepetitionPolicy,
+    aggregate,
+    repetitions_for,
+    sweep_sizes,
+)
+from .report import format_table, format_traffic_row, sparkline
+from .session import (
+    VIA_PCP,
+    VIA_PERF_UNCORE,
+    MeasurementResult,
+    MeasurementSession,
+)
+from .timeline import MultiComponentProfiler, Step, Timeline, TimelineSample
+from .traceexport import timeline_to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Band",
+    "CAPPED_GEMV_TRANSITION",
+    "DerivedMetrics",
+    "MeasurementResult",
+    "MeasurementSession",
+    "MultiComponentProfiler",
+    "PAPER_POLICY",
+    "RepetitionPolicy",
+    "Step",
+    "Timeline",
+    "TimelineSample",
+    "VIA_PCP",
+    "VIA_PERF_UNCORE",
+    "aggregate",
+    "format_table",
+    "format_traffic_row",
+    "from_measurement",
+    "gemm_divergence_band",
+    "gemm_expected_bytes",
+    "gemv_expected_bytes",
+    "repetitions_for",
+    "resort_expected_bytes",
+    "s1cf_ln2_boundary",
+    "sparkline",
+    "sweep_sizes",
+    "timeline_to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,105 @@
+"""Noise-model calibration: estimate a system's noise parameters from
+measurements, the way the paper's empirical observations calibrate its
+repetition formula (Eq. 5).
+
+Measurements of a kernel with known traffic ``T`` over ``R``
+repetitions decompose as
+
+    measured(R) ≈ T + per_rep + (background_rate · t_kernel)
+                     + (fixed + background_rate · t_overhead) / R
+
+so sweeping R and regressing measured-vs-1/R separates the amortisable
+(fixed per window) component from the per-repetition one. The
+estimates feed directly back into designing a repetition policy: the
+number of repetitions needed for a target accuracy is
+
+    R* = window_excess / (tolerance · T − steady_excess)
+
+:class:`NoiseCalibrator` implements the sweep, the regression (plain
+least squares on the two-parameter model), and the policy derivation —
+all through the ordinary measurement path, so it works identically on
+simulated Summit/Tellico or (conceptually) real hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .session import MeasurementSession
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted excess-traffic model for one kernel size."""
+
+    kernel: str
+    true_read_bytes: float
+    #: Excess read bytes that do NOT amortise with repetitions
+    #: (per-repetition overheads, steady background during the kernel).
+    steady_excess: float
+    #: Excess read bytes charged once per window (amortises as 1/R).
+    window_excess: float
+    #: Residual RMS of the fit (bytes).
+    residual_rms: float
+
+    def repetitions_for_tolerance(self, tolerance: float) -> Optional[int]:
+        """Repetitions needed so the expected error <= tolerance·T.
+
+        Returns None when the steady excess alone already exceeds the
+        tolerance (no number of repetitions can fix a bias)."""
+        if tolerance <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        budget = tolerance * self.true_read_bytes - self.steady_excess
+        if budget <= 0:
+            return None
+        if self.window_excess <= 0:
+            return 1
+        return max(1, math.ceil(self.window_excess / budget))
+
+
+class NoiseCalibrator:
+    """Fits the excess-traffic model by sweeping repetition counts."""
+
+    def __init__(self, session: MeasurementSession,
+                 rep_sweep: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+                 runs_per_point: int = 5):
+        if len(rep_sweep) < 2:
+            raise ConfigurationError("need >= 2 repetition counts to fit")
+        if runs_per_point < 1:
+            raise ConfigurationError("runs_per_point must be >= 1")
+        self.session = session
+        self.rep_sweep = sorted(set(int(r) for r in rep_sweep))
+        self.runs_per_point = runs_per_point
+
+    # ------------------------------------------------------------------
+    def calibrate(self, kernel, n_cores: int = 1) -> CalibrationResult:
+        """Measure ``kernel`` across the repetition sweep and fit."""
+        inv_r: List[float] = []
+        excess: List[float] = []
+        true_read = None
+        for reps in self.rep_sweep:
+            for _ in range(self.runs_per_point):
+                result = self.session.measure_kernel(
+                    kernel, n_cores=n_cores, repetitions=reps)
+                if true_read is None:
+                    true_read = float(result.true_traffic.read_bytes)
+                inv_r.append(1.0 / reps)
+                excess.append(result.measured.read_bytes - true_read)
+        # Least squares: excess = steady + window * (1/R).
+        a = np.vstack([np.ones(len(inv_r)), np.asarray(inv_r)]).T
+        coeffs, *_ = np.linalg.lstsq(a, np.asarray(excess), rcond=None)
+        steady, window = float(coeffs[0]), float(coeffs[1])
+        fitted = a @ coeffs
+        rms = float(np.sqrt(np.mean((np.asarray(excess) - fitted) ** 2)))
+        return CalibrationResult(
+            kernel=kernel.name,
+            true_read_bytes=true_read or 0.0,
+            steady_excess=steady,
+            window_excess=window,
+            residual_rms=rms,
+        )

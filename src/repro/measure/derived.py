@@ -1,0 +1,88 @@
+"""Derived metrics: bandwidth, arithmetic intensity, roofline position.
+
+The paper's methodology descends from the authors' arithmetic-
+intensity work (ref. [9], "Effortless Monitoring of Arithmetic
+Intensity with PAPI's Counter Analysis Toolkit"): once memory-traffic
+counters are validated, FLOP counts divided by measured bytes give the
+operational intensity that places a kernel on the roofline. This
+module computes those quantities from measurement results so examples
+and benchmarks can report them consistently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..machine.config import MachineConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class DerivedMetrics:
+    """Bandwidth/intensity metrics of one measured kernel execution."""
+
+    #: Total bytes moved to/from memory (read + write).
+    bytes_moved: int
+    #: Floating point operations executed.
+    flops: float
+    #: Wall-clock of the execution (seconds).
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0 or self.flops < 0 or self.seconds < 0:
+            raise ConfigurationError("derived metrics need non-negative inputs")
+
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth(self) -> float:
+        """Achieved memory bandwidth (bytes/second)."""
+        return self.bytes_moved / self.seconds if self.seconds else 0.0
+
+    @property
+    def flop_rate(self) -> float:
+        """Achieved arithmetic rate (FLOP/s)."""
+        return self.flops / self.seconds if self.seconds else 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operational intensity (FLOP per byte of memory traffic)."""
+        if self.bytes_moved == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.bytes_moved
+
+    # ------------------------------------------------------------------
+    def roofline_bound(self, machine: MachineConfig,
+                       n_cores: int = 1) -> str:
+        """Which roof limits this kernel on ``machine``: memory|compute."""
+        ridge = self.ridge_intensity(machine, n_cores)
+        return "memory" if self.arithmetic_intensity < ridge else "compute"
+
+    def attainable_flop_rate(self, machine: MachineConfig,
+                             n_cores: int = 1) -> float:
+        """Roofline ceiling for this intensity (FLOP/s)."""
+        peak = machine.socket.core_flops * n_cores
+        bw = machine.socket.memory_bandwidth
+        return min(peak, self.arithmetic_intensity * bw)
+
+    @staticmethod
+    def ridge_intensity(machine: MachineConfig, n_cores: int = 1) -> float:
+        """Intensity at the roofline ridge point (FLOP/byte)."""
+        peak = machine.socket.core_flops * n_cores
+        return peak / machine.socket.memory_bandwidth
+
+    def efficiency(self, machine: MachineConfig, n_cores: int = 1) -> float:
+        """Achieved / attainable FLOP rate (0..1, roofline terms)."""
+        ceiling = self.attainable_flop_rate(machine, n_cores)
+        return self.flop_rate / ceiling if ceiling else 0.0
+
+
+def from_measurement(result, kernel, machine: Optional[MachineConfig] = None
+                     ) -> DerivedMetrics:
+    """Build :class:`DerivedMetrics` from a
+    :class:`~repro.measure.session.MeasurementResult` and its kernel."""
+    return DerivedMetrics(
+        bytes_moved=result.measured.total_bytes,
+        flops=kernel.flops() * result.n_cores,
+        seconds=result.runtime_per_rep,
+    )

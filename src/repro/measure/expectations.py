@@ -1,0 +1,80 @@
+"""Expected-traffic formulas and divergence boundaries (Eqs. 3, 4, 7).
+
+The paper draws dashed "expected" lines — element counts × 8 bytes,
+64 B transactions — and shades the problem-size band where caching
+assumptions break down. This module computes those boundaries from the
+machine's cache geometry so they stay consistent with the simulated
+hardware:
+
+* Eq. 3: all three GEMM matrices cached — ``8·3N² = L3`` → N ≈ 467
+  (5 MB per-core slice);
+* Eq. 4: only one matrix cached — ``8·N² = L3`` → N ≈ 809;
+* Eq. 7: S1CF loop-nest-2 working set — ``4·16N²/8 + 16N²/8 = L3`` →
+  N ≈ 724 (2×4 grid, 8 processes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..units import DOUBLE, DOUBLE_COMPLEX, MIB
+
+
+@dataclasses.dataclass(frozen=True)
+class Band:
+    """A problem-size interval where measurements may diverge."""
+
+    lower: float
+    upper: float
+
+    def contains(self, n: float) -> bool:
+        return self.lower <= n <= self.upper
+
+
+def gemm_divergence_band(l3_bytes: int = 5 * MIB) -> Band:
+    """Shaded region of Fig 2: between all-matrices-cached (Eq. 3) and
+    one-matrix-cached (Eq. 4)."""
+    lower = math.sqrt(l3_bytes / (3 * DOUBLE))
+    upper = math.sqrt(l3_bytes / DOUBLE)
+    return Band(lower=lower, upper=upper)
+
+
+def s1cf_ln2_boundary(l3_bytes: int = 5 * MIB, n_processes: int = 8) -> float:
+    """Eq. 7: N above which every S1CF loop-nest-2 iteration must read
+    a whole cache line — 4 granules of tmp plus 1 of out per element.
+
+    ``4·(16N²/p) + (16N²/p) = L3``  →  ``N = sqrt(L3·p / (5·16))``.
+    """
+    return math.sqrt(l3_bytes * n_processes / (5 * DOUBLE_COMPLEX))
+
+
+#: The problem size at which the paper's capped-GEMV sweep switches
+#: from square (M=N=P) to capped (N=P fixed, M grows): "Since each
+#: thread has access to 5MB of L3 cache, this transition happens when
+#: M=N=P=1280" — a design constant of the paper's experiment.
+CAPPED_GEMV_TRANSITION = 1280
+
+
+def gemm_expected_bytes(n: int) -> dict:
+    """Dashed lines of Figs 2-4: 3N² element reads, N² element writes."""
+    nn = n * n
+    return {"read_bytes": 3 * nn * DOUBLE, "write_bytes": nn * DOUBLE}
+
+
+def gemv_expected_bytes(m: int, n: int) -> dict:
+    """Dashed lines of Fig 5: M·N+M+N element reads, M element writes."""
+    return {
+        "read_bytes": (m * n + m + n) * DOUBLE,
+        "write_bytes": m * DOUBLE,
+    }
+
+
+def resort_expected_bytes(elements: int, reads_per_write: float,
+                          elem_bytes: int = DOUBLE_COMPLEX) -> dict:
+    """Expectations for the 3D-FFT re-sorting routines, expressed as a
+    read:write ratio per element copied (§IV): e.g. S1CF combined nest
+    → 2 reads : 1 write; S2CF → 1 read : 1 write."""
+    write = elements * elem_bytes
+    return {"read_bytes": int(round(reads_per_write * write)),
+            "write_bytes": write}

@@ -1,0 +1,97 @@
+"""ASCII figure rendering: log-log plots in the terminal.
+
+The paper's figures are log-log traffic-vs-problem-size plots.
+:func:`ascii_plot` renders the same shapes in plain text so the
+examples and the CLI (``repro-experiments figN --plot``) can *show*
+the crossovers — the noise floor, the divergence band, the batched
+jump — rather than only tabulating them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+Point = Tuple[float, float]
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ConfigurationError(
+                "log-scale plots need strictly positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(series: Dict[str, Sequence[Point]], width: int = 72,
+               height: int = 20, logx: bool = True, logy: bool = True,
+               title: Optional[str] = None,
+               xlabel: str = "", ylabel: str = "") -> str:
+    """Render named (x, y) series as an ASCII scatter plot."""
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ConfigurationError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ConfigurationError("plot area too small")
+    xs: List[float] = []
+    ys: List[float] = []
+    for pts in series.values():
+        for x, y in pts:
+            xs.append(_transform(x, logx))
+            ys.append(_transform(y, logy))
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = int(round((_transform(x, logx) - x_lo) / x_span
+                            * (width - 1)))
+            row = int(round((_transform(y, logy) - y_lo) / y_span
+                            * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def y_label(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        value = y_lo + frac * y_span
+        return f"{10 ** value:9.3g}" if logy else f"{value:9.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    if legend:
+        lines.append("   ".join(legend))
+    for row in range(height):
+        label = y_label(row) if row % max(1, height // 5) == 0 else " " * 9
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_left = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_right = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * 10 + x_left + " " * max(1, pad) + x_right)
+    if xlabel or ylabel:
+        lines.append(f"          x: {xlabel}    y: {ylabel}")
+    return "\n".join(lines)
+
+
+def plot_ratio_sweep(rows: Sequence[Sequence], n_col: int,
+                     ratio_cols: Dict[str, int], title: str = "",
+                     **kwargs) -> str:
+    """Plot measured/expected ratio columns of an experiment's rows."""
+    series: Dict[str, List[Point]] = {}
+    for name, col in ratio_cols.items():
+        series[name] = [(row[n_col], row[col]) for row in rows
+                        if row[col] and row[col] > 0]
+    return ascii_plot(series, title=title,
+                      xlabel="problem size", ylabel="measured/expected",
+                      **kwargs)

@@ -1,0 +1,167 @@
+"""Measurement sessions: kernel × machine × PAPI component.
+
+A :class:`MeasurementSession` wires together everything the paper's
+benchmark methodology needs on one simulated machine:
+
+* a :class:`~repro.machine.node.Node` (Summit, Tellico, or Skylake),
+* a PMCD daemon plus an initialised :class:`~repro.papi.Papi` library,
+* an :class:`~repro.engine.executor.Executor`.
+
+``measure_kernel`` then reproduces the paper's measurement loop: open
+the 16 nest events of the target socket through the chosen component
+(``pcp``, as on Summit, or ``perf_event_uncore``, as on Tellico),
+start the event set, run the kernel ``repetitions`` times back to
+back, stop, and average — reporting measured alongside expected
+traffic. All noise enters through the same counter path a real
+measurement would see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from ..engine.executor import Executor
+from ..errors import ConfigurationError
+from ..kernels.compiler import CompilerConfig, compile_kernel
+from ..machine.cache import TrafficCounters
+from ..machine.config import MachineConfig, get_machine
+from ..machine.node import Node
+from ..noise import NoiseConfig
+from ..papi.papi import Papi, library_init
+from ..pcp.pmcd import start_pmcd_for_node
+from ..pmu.events import all_pcp_events, all_uncore_events
+
+#: Measurement paths.
+VIA_PCP = "pcp"
+VIA_PERF_UNCORE = "perf_event_uncore"
+
+
+@dataclasses.dataclass
+class MeasurementResult:
+    """One (kernel, size, core-count) measurement, per-repetition avg."""
+
+    kernel: str
+    machine: str
+    via: str
+    n_cores: int
+    repetitions: int
+    #: Average measured traffic per repetition, whole batch (bytes).
+    measured: TrafficCounters
+    #: Paper-expected traffic for the whole batch (bytes), if defined.
+    expected: Optional[TrafficCounters]
+    #: Noise-free analytic traffic of one repetition (whole batch).
+    true_traffic: TrafficCounters
+    runtime_per_rep: float
+
+    @property
+    def read_ratio(self) -> Optional[float]:
+        """measured / expected reads (1.0 = matches the dashed line)."""
+        if self.expected is None or self.expected.read_bytes == 0:
+            return None
+        return self.measured.read_bytes / self.expected.read_bytes
+
+    @property
+    def write_ratio(self) -> Optional[float]:
+        if self.expected is None or self.expected.write_bytes == 0:
+            return None
+        return self.measured.write_bytes / self.expected.write_bytes
+
+    @property
+    def reads_per_write(self) -> float:
+        if self.measured.write_bytes == 0:
+            return float("inf")
+        return self.measured.read_bytes / self.measured.write_bytes
+
+
+class MeasurementSession:
+    """One machine set up for repeated kernel measurements."""
+
+    def __init__(self, machine: Union[str, MachineConfig] = "summit",
+                 via: Optional[str] = None, seed: Optional[int] = None,
+                 noise: Optional[NoiseConfig] = None):
+        self.machine = (get_machine(machine) if isinstance(machine, str)
+                        else machine)
+        self.node = Node(self.machine, seed=seed, noise=noise)
+        self.pmcd = start_pmcd_for_node(self.node)
+        self.papi: Papi = library_init(self.node, pmcd=self.pmcd)
+        self.executor = Executor(self.node)
+        if via is None:
+            # The natural path for the machine: direct where privileged
+            # (Tellico/Skylake), PCP otherwise (Summit).
+            via = (VIA_PERF_UNCORE if self.machine.user_privileged
+                   else VIA_PCP)
+        if via not in (VIA_PCP, VIA_PERF_UNCORE):
+            raise ConfigurationError(
+                f"via must be {VIA_PCP!r} or {VIA_PERF_UNCORE!r}, got {via!r}")
+        self.via = via
+
+    # ------------------------------------------------------------------
+    def nest_event_names(self, socket_id: int = 0) -> list:
+        """The 16 memory-traffic events of one socket, in the spelling
+        of the session's measurement path (paper Table I)."""
+        if self.via == VIA_PCP:
+            return all_pcp_events(self.machine, socket_id)
+        threads_per_socket = self.machine.socket.n_cores * 4
+        return all_uncore_events(self.machine,
+                                 cpu=socket_id * threads_per_socket)
+
+    def _make_eventset(self, socket_id: int):
+        es = self.papi.create_eventset()
+        es.add_events(self.nest_event_names(socket_id))
+        return es
+
+    # ------------------------------------------------------------------
+    def measure_kernel(self, kernel, n_cores: int = 1, repetitions: int = 1,
+                       compiler: Optional[CompilerConfig] = None,
+                       socket_id: int = 0, noisy: bool = True,
+                       assume_socket_busy: bool = False,
+                       ) -> MeasurementResult:
+        """Measure ``repetitions`` back-to-back runs of ``kernel``.
+
+        Returns per-repetition averages of the summed 16-channel
+        read/write byte counts — the quantity every figure plots.
+        """
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        compiler = compiler or compile_kernel()
+        es = self._make_eventset(socket_id)
+        sock = self.node.socket(socket_id)
+        es.start()
+        if noisy:
+            # Fixed per-window traffic (harness setup, page-table churn)
+            # lands INSIDE the measurement window, after the start read.
+            fixed = self.node.noise_model(socket_id).window_fixed_traffic()
+            sock.record_traffic(fixed.read_bytes, fixed.write_bytes)
+        record = self.executor.run(
+            kernel, socket_id=socket_id, n_cores=n_cores,
+            repetitions=repetitions, prefetch=compiler.prefetch,
+            noisy=noisy, assume_socket_busy=assume_socket_busy,
+        )
+        values = es.stop_dict()
+        read = sum(v for k, v in values.items() if "READ" in k)
+        write = sum(v for k, v in values.items() if "WRITE" in k)
+        measured = TrafficCounters(
+            read_bytes=read // repetitions,
+            write_bytes=write // repetitions,
+        )
+        expected_one = kernel.expected_traffic()
+        expected = (expected_one.scaled(n_cores)
+                    if expected_one is not None else None)
+        return MeasurementResult(
+            kernel=kernel.name,
+            machine=self.machine.name,
+            via=self.via,
+            n_cores=n_cores,
+            repetitions=repetitions,
+            measured=measured,
+            expected=expected,
+            true_traffic=record.true_traffic,
+            runtime_per_rep=record.runtime_per_rep,
+        )
+
+    # ------------------------------------------------------------------
+    def batch_core_count(self, socket_id: int = 0) -> int:
+        """Cores used by the paper's batched kernels: every usable core
+        of the socket (21 on Summit, 16 on Tellico)."""
+        return len(self.node.socket(socket_id).usable_cores)

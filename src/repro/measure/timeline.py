@@ -1,0 +1,213 @@
+"""Multi-component timeline profiling (Figs 11-12).
+
+"We use PAPI to simultaneously monitor three disparate performance
+metrics — GPU power, network traffic, and memory traffic — of a
+GPU-enabled application running on a distributed memory machine."
+
+:class:`MultiComponentProfiler` holds one PAPI event set per component
+(nest memory counters via PCP, InfiniBand ``port_recv_data``, NVML GPU
+power), starts them together, and samples all of them at every
+application *step*. Applications expose their execution as an iterable
+of labelled :class:`Step` objects (phases split into slices); the
+profiler turns counter deltas into rates and produces a
+:class:`Timeline` whose per-phase signatures make each region of the
+execution uniquely identifiable — the paper's headline demonstration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from ..machine.node import Node
+from ..papi.papi import Papi
+from ..pmu.events import all_pcp_events, all_uncore_events
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One profiled slice of application execution."""
+
+    label: str
+    run: Callable[[], None]
+
+
+@dataclasses.dataclass
+class TimelineSample:
+    """Rates observed over one step's window."""
+
+    label: str
+    t_start: float
+    t_end: float
+    mem_read_rate: float = 0.0     # bytes / second
+    mem_write_rate: float = 0.0    # bytes / second
+    gpu_power_w: float = 0.0       # average board power over the window
+    net_recv_rate: float = 0.0     # bytes / second
+    cpu_power_w: float = 0.0       # average package power (rapl)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def mem_read_bytes(self) -> float:
+        return self.mem_read_rate * self.duration
+
+    @property
+    def mem_write_bytes(self) -> float:
+        return self.mem_write_rate * self.duration
+
+
+@dataclasses.dataclass
+class Timeline:
+    """The full profile of one rank."""
+
+    samples: List[TimelineSample]
+
+    def series(self, metric: str) -> List[float]:
+        return [getattr(s, metric) for s in self.samples]
+
+    def labels(self) -> List[str]:
+        return [s.label for s in self.samples]
+
+    def phase(self, label: str) -> List[TimelineSample]:
+        return [s for s in self.samples if s.label == label]
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate bytes/energy per distinct phase label."""
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.samples:
+            agg = out.setdefault(s.label, {
+                "seconds": 0.0, "read_bytes": 0.0, "write_bytes": 0.0,
+                "gpu_energy_j": 0.0, "net_recv_bytes": 0.0,
+            })
+            agg["seconds"] += s.duration
+            agg["read_bytes"] += s.mem_read_bytes
+            agg["write_bytes"] += s.mem_write_bytes
+            agg["gpu_energy_j"] += s.gpu_power_w * s.duration
+            agg["net_recv_bytes"] += s.net_recv_rate * s.duration
+        return out
+
+
+class MultiComponentProfiler:
+    """Correlated sampling of nest + NVML + InfiniBand counters."""
+
+    def __init__(self, papi: Papi, socket_id: int = 0,
+                 use_pcp: Optional[bool] = None,
+                 gpu_index: Optional[int] = None,
+                 nic_index: Optional[int] = None):
+        self.papi = papi
+        self.node: Node = papi.node
+        self.socket_id = socket_id
+        machine = self.node.config
+        if use_pcp is None:
+            use_pcp = not machine.user_privileged
+        # --- nest memory events --------------------------------------
+        self.mem_es = papi.create_eventset()
+        if use_pcp:
+            self.mem_es.add_events(all_pcp_events(machine, socket_id))
+        else:
+            threads = machine.socket.n_cores * 4
+            self.mem_es.add_events(
+                all_uncore_events(machine, cpu=socket_id * threads))
+        # --- GPU power ------------------------------------------------
+        self.gpu = None
+        gpus = self.node.gpus_on_socket(socket_id)
+        if gpus:
+            self.gpu = gpus[gpu_index or 0] if gpu_index is None \
+                else gpus[gpu_index]
+            self.nvml_es = papi.create_eventset()
+            self.nvml_es.add_event(
+                f"nvml:::{self.gpu.name}:device_{self.gpu.device_id}:power")
+        else:
+            self.nvml_es = None
+        # --- CPU package power (extension component) -------------------
+        try:
+            self.rapl_es = papi.create_eventset()
+            self.rapl_es.add_event(
+                f"rapl:::PACKAGE_ENERGY:PACKAGE{socket_id}")
+        except Exception:
+            self.rapl_es = None
+        # --- network ---------------------------------------------------
+        if self.node.nics:
+            nic = self.node.nics[(nic_index if nic_index is not None
+                                  else socket_id % len(self.node.nics))]
+            self.ib_es = papi.create_eventset()
+            self.ib_es.add_event(
+                f"infiniband:::{nic.name}:port_recv_data")
+        else:
+            self.ib_es = None
+
+    # ------------------------------------------------------------------
+    def profile(self, steps: Iterable[Step]) -> Timeline:
+        """Run the application steps under correlated measurement."""
+        self.mem_es.start()
+        if self.ib_es is not None:
+            self.ib_es.start()
+        if self.nvml_es is not None:
+            self.nvml_es.start()
+        if self.rapl_es is not None:
+            self.rapl_es.start()
+        samples: List[TimelineSample] = []
+        prev_mem = self._read_mem()
+        prev_ib = self._read_ib()
+        for step in steps:
+            # Bracket the step tightly with the (cheap) energy reads so
+            # the power average excludes other components' read latency.
+            prev_uj = self._read_rapl()
+            t0 = self.node.clock
+            step.run()
+            t1 = self.node.clock
+            if t1 <= t0:
+                raise ConfigurationError(
+                    f"step {step.label!r} did not advance the clock; "
+                    "profiled steps must consume simulated time"
+                )
+            uj = self._read_rapl()
+            mem = self._read_mem()
+            ib = self._read_ib()
+            dt = t1 - t0
+            sample = TimelineSample(
+                label=step.label, t_start=t0, t_end=t1,
+                mem_read_rate=(mem[0] - prev_mem[0]) / dt,
+                mem_write_rate=(mem[1] - prev_mem[1]) / dt,
+                net_recv_rate=(ib - prev_ib) / dt,
+                gpu_power_w=self._gpu_power(t0, t1),
+                cpu_power_w=(uj - prev_uj) / 1e6 / dt,
+            )
+            samples.append(sample)
+            prev_mem, prev_ib = mem, ib
+        self.mem_es.stop()
+        if self.ib_es is not None:
+            self.ib_es.stop()
+        if self.nvml_es is not None:
+            self.nvml_es.stop()
+        if self.rapl_es is not None:
+            self.rapl_es.stop()
+        return Timeline(samples=samples)
+
+    # ------------------------------------------------------------------
+    def _read_mem(self):
+        values = self.mem_es.read_dict()
+        read = sum(v for k, v in values.items() if "READ" in k)
+        write = sum(v for k, v in values.items() if "WRITE" in k)
+        return read, write
+
+    def _read_ib(self) -> int:
+        if self.ib_es is None:
+            return 0
+        # port_recv_data counts 4-byte words.
+        return self.ib_es.read()[0] * 4
+
+    def _read_rapl(self) -> int:
+        if self.rapl_es is None:
+            return 0
+        return self.rapl_es.read()[0]
+
+    def _gpu_power(self, t0: float, t1: float) -> float:
+        """Average power over the window, as a high-rate NVML sampler
+        (what production profilers run) would report."""
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.power.average_power(t0, t1)

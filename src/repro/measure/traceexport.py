@@ -1,0 +1,75 @@
+"""Export timelines as Chrome/Perfetto trace JSON.
+
+The paper visualises its multi-component profiles (Figs 11-12) as time
+series; tools like Vampir render them as trace views. This module
+converts a :class:`~repro.measure.timeline.Timeline` into the Chrome
+trace-event format (`chrome://tracing` / Perfetto compatible): one
+duration event per profiled step plus counter tracks for memory
+read/write rates, GPU power, and network receive rate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .timeline import Timeline
+
+#: Chrome traces use microseconds.
+_US = 1e6
+
+
+def timeline_to_chrome_trace(timeline: Timeline, pid: int = 1,
+                             process_name: str = "rank0") -> Dict:
+    """Build the trace dict (``json.dump``-ready)."""
+    if not timeline.samples:
+        raise ConfigurationError("cannot export an empty timeline")
+    events: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": process_name},
+    }]
+    for sample in timeline.samples:
+        events.append({
+            "name": sample.label,
+            "ph": "X",
+            "pid": pid,
+            "tid": 1,
+            "ts": sample.t_start * _US,
+            "dur": sample.duration * _US,
+            "args": {
+                "mem_read_GBps": round(sample.mem_read_rate / 1e9, 3),
+                "mem_write_GBps": round(sample.mem_write_rate / 1e9, 3),
+                "gpu_power_W": round(sample.gpu_power_w, 1),
+                "net_recv_GBps": round(sample.net_recv_rate / 1e9, 3),
+            },
+        })
+        # Counter tracks (ph="C") sampled at each step start.
+        events.append({
+            "name": "memory traffic", "ph": "C", "pid": pid,
+            "ts": sample.t_start * _US,
+            "args": {
+                "read_GBps": round(sample.mem_read_rate / 1e9, 3),
+                "write_GBps": round(sample.mem_write_rate / 1e9, 3),
+            },
+        })
+        events.append({
+            "name": "gpu power", "ph": "C", "pid": pid,
+            "ts": sample.t_start * _US,
+            "args": {"watts": round(sample.gpu_power_w, 1)},
+        })
+        events.append({
+            "name": "network", "ph": "C", "pid": pid,
+            "ts": sample.t_start * _US,
+            "args": {"recv_GBps": round(sample.net_recv_rate / 1e9, 3)},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(timeline: Timeline, path: str, pid: int = 1,
+                       process_name: str = "rank0") -> None:
+    """Write the trace to ``path`` (open in chrome://tracing/Perfetto)."""
+    trace = timeline_to_chrome_trace(timeline, pid=pid,
+                                     process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)

@@ -1,0 +1,17 @@
+"""Simulated MPI substrate: clusters of simulated nodes, rank placement,
+byte-accounted collectives, 2-D processor grids, and InfiniBand port
+counters read by the PAPI infiniband component."""
+
+from .comm import Cluster, RankPlacement, SimComm, SubComm
+from .grid import ProcessorGrid
+from .network import COUNTER_UNIT_BYTES, NICPort
+
+__all__ = [
+    "COUNTER_UNIT_BYTES",
+    "Cluster",
+    "NICPort",
+    "ProcessorGrid",
+    "RankPlacement",
+    "SimComm",
+    "SubComm",
+]

@@ -1,0 +1,219 @@
+"""Simulated MPI: cluster, rank placement, and collectives.
+
+The distributed 3D-FFT and QMCPACK drivers run all MPI ranks inside one
+Python process. :class:`Cluster` owns the per-node hardware simulations
+and keeps their clocks in lock-step; :class:`SimComm` provides the
+mpi4py-like communication surface (buffer-oriented, upper-case-style
+semantics) with full byte accounting:
+
+* intra-node transfers read the sender socket's memory and write the
+  receiver socket's memory (visible to the nest counters);
+* inter-node transfers additionally cross the NICs, incrementing the
+  InfiniBand ``port_recv_data``/``port_xmit_data`` counters the PAPI
+  infiniband component reads.
+
+Collectives are synchronising: every participating node's clock
+advances by the same duration, modelling the implicit barrier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MPIError
+from ..machine.config import MachineConfig
+from ..machine.node import Node
+from ..noise import NoiseConfig
+from ..rng import derive_seed
+
+
+class Cluster:
+    """A set of identical simulated compute nodes with a common clock."""
+
+    def __init__(self, machine: MachineConfig, n_nodes: int,
+                 seed: Optional[int] = None,
+                 noise: Optional[NoiseConfig] = None):
+        if n_nodes <= 0:
+            raise MPIError("cluster needs at least one node")
+        self.machine = machine
+        self.nodes: List[Node] = [
+            Node(machine, seed=derive_seed(seed, f"node{i}"), noise=noise)
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def advance_all(self, dt: float, background: bool = True) -> None:
+        for node in self.nodes:
+            node.advance(dt, background=background)
+
+    @property
+    def clock(self) -> float:
+        return self.nodes[0].clock
+
+
+@dataclasses.dataclass(frozen=True)
+class RankPlacement:
+    """Where one MPI rank lives: node index and socket on that node."""
+
+    rank: int
+    node_index: int
+    socket_id: int
+
+
+class SimComm:
+    """Communicator over all ranks, one rank per socket (Summit style).
+
+    "Each MPI rank is assigned to a socket (two per compute node) on
+    Summit. Since each socket has its own nest, we measure PCP events
+    per MPI rank."
+    """
+
+    def __init__(self, cluster: Cluster, ranks_per_node: Optional[int] = None):
+        self.cluster = cluster
+        per_node = (cluster.machine.n_sockets if ranks_per_node is None
+                    else ranks_per_node)
+        if per_node < 1 or per_node > cluster.machine.n_sockets:
+            raise MPIError(
+                f"ranks_per_node={per_node} must be within "
+                f"1..{cluster.machine.n_sockets}"
+            )
+        self.placements: List[RankPlacement] = []
+        rank = 0
+        for node_index in range(cluster.n_nodes):
+            for socket_id in range(per_node):
+                self.placements.append(
+                    RankPlacement(rank, node_index, socket_id))
+                rank += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.placements)
+
+    def node_of(self, rank: int) -> Node:
+        return self.cluster.nodes[self.placements[rank].node_index]
+
+    def socket_of(self, rank: int):
+        p = self.placements[rank]
+        return self.cluster.nodes[p.node_index].socket(p.socket_id)
+
+    def sub_comm(self, ranks: Sequence[int]) -> "SubComm":
+        """Communicator over a subset of ranks (grid rows/columns)."""
+        return SubComm(self, list(ranks))
+
+    # ------------------------------------------------------------------
+    def alltoallv(self, send_chunks: List[List[np.ndarray]],
+                  account: bool = True) -> List[List[np.ndarray]]:
+        """Personalised all-to-all: ``send_chunks[i][j]`` goes i → j.
+
+        Returns ``recv`` with ``recv[j][i] = send_chunks[i][j]`` (data
+        is not copied — ranks share one address space here; traffic and
+        time accounting model the real exchange).
+        """
+        n = self.size
+        if len(send_chunks) != n or any(len(row) != n for row in send_chunks):
+            raise MPIError(
+                f"alltoallv needs an {n}x{n} matrix of chunks, got "
+                f"{len(send_chunks)} rows"
+            )
+        if account:
+            self._account_exchange(
+                [[chunk.nbytes for chunk in row] for row in send_chunks],
+                list(range(n)),
+            )
+        return [[send_chunks[i][j] for i in range(n)] for j in range(n)]
+
+    def alltoall_bytes(self, per_pair_bytes: int,
+                       ranks: Optional[Sequence[int]] = None,
+                       advance: bool = True) -> float:
+        """Account (only) for an all-to-all moving ``per_pair_bytes``
+        between every ordered pair of distinct ranks. Returns duration.
+
+        ``advance=False`` records the traffic but leaves the clocks to
+        the caller — used when several disjoint groups exchange
+        *concurrently* (the per-row/per-column All2Alls of the FFT).
+        """
+        group = list(ranks) if ranks is not None else list(range(self.size))
+        n = len(group)
+        sizes = [[0 if i == j else per_pair_bytes for j in range(n)]
+                 for i in range(n)]
+        return self._account_exchange(sizes, group, advance=advance)
+
+    # ------------------------------------------------------------------
+    def _account_exchange(self, sizes: List[List[int]],
+                          group: Sequence[int],
+                          advance: bool = True) -> float:
+        """Record memory/NIC traffic for a pairwise exchange and advance
+        every node clock by the exchange duration."""
+        nic_bytes_per_node = {}
+        for i, src in enumerate(group):
+            for j, dst in enumerate(group):
+                nbytes = sizes[i][j]
+                if nbytes == 0 or src == dst:
+                    continue
+                src_p = self.placements[src]
+                dst_p = self.placements[dst]
+                # Memory traffic: the sender reads its buffer, the
+                # receiver writes its buffer.
+                self.socket_of(src).record_traffic(read_bytes=nbytes)
+                self.socket_of(dst).record_traffic(write_bytes=nbytes)
+                if src_p.node_index != dst_p.node_index:
+                    src_node = self.cluster.nodes[src_p.node_index]
+                    dst_node = self.cluster.nodes[dst_p.node_index]
+                    t0 = self.cluster.clock
+                    if src_node.nics:
+                        nic = src_node.nics[src_p.socket_id % len(src_node.nics)]
+                        nic.record_xmit(nbytes, t0)
+                    if dst_node.nics:
+                        nic = dst_node.nics[dst_p.socket_id % len(dst_node.nics)]
+                        nic.record_recv(nbytes, t0)
+                    for idx in (src_p.node_index, dst_p.node_index):
+                        nic_bytes_per_node[idx] = (
+                            nic_bytes_per_node.get(idx, 0) + nbytes)
+        bandwidth = self._link_bandwidth()
+        duration = (max(nic_bytes_per_node.values()) / bandwidth
+                    if nic_bytes_per_node else 0.0)
+        if advance and duration > 0.0:
+            self.cluster.advance_all(duration)
+        return duration
+
+    def _link_bandwidth(self) -> float:
+        nics = self.cluster.machine.nics
+        if not nics:
+            return 12.5e9  # assume EDR when the machine has no NIC model
+        return sum(n.bandwidth for n in nics)
+
+    def barrier(self, skew: float = 0.0) -> None:
+        """Synchronise all node clocks (optionally adding ``skew``)."""
+        latest = max(node.clock for node in self.cluster.nodes)
+        for node in self.cluster.nodes:
+            dt = latest - node.clock + skew
+            if dt > 0:
+                node.advance(dt)
+
+
+class SubComm:
+    """A row/column communicator: a view over a subset of ranks."""
+
+    def __init__(self, parent: SimComm, ranks: List[int]):
+        if len(set(ranks)) != len(ranks):
+            raise MPIError("duplicate ranks in sub-communicator")
+        for r in ranks:
+            if not 0 <= r < parent.size:
+                raise MPIError(f"rank {r} out of range")
+        self.parent = parent
+        self.ranks = ranks
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def alltoall_bytes(self, per_pair_bytes: int, advance: bool = True) -> float:
+        return self.parent.alltoall_bytes(per_pair_bytes, self.ranks,
+                                          advance=advance)

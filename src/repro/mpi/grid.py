@@ -1,0 +1,70 @@
+"""Two-dimensional virtual processor grids (r × c).
+
+The 3D-FFT "decomposes the input data array A into a two-dimensional
+r × c virtual processor grid with each element in the grid
+corresponding to a distinct MPI rank", so the local array per rank is
+(N/r) × (N/c) × N. The paper's jobs use 2×4 (8 ranks), 4×8 (32 ranks)
+and 8×8 (64 ranks) grids; :class:`ProcessorGrid` handles the rank ↔
+coordinate mapping and the row/column communicators the transpose
+phases exchange data within.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..errors import MPIError
+from .comm import SimComm, SubComm
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorGrid:
+    """An ``rows × cols`` grid in row-major rank order."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise MPIError("grid dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    def coords_of(self, rank: int) -> Tuple[int, int]:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} outside grid of size {self.size}")
+        return divmod(rank, self.cols)
+
+    def rank_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise MPIError(f"coords ({row}, {col}) outside {self.rows}x{self.cols}")
+        return row * self.cols + col
+
+    def row_ranks(self, row: int) -> List[int]:
+        return [self.rank_of(row, c) for c in range(self.cols)]
+
+    def col_ranks(self, col: int) -> List[int]:
+        return [self.rank_of(r, col) for r in range(self.rows)]
+
+    # ------------------------------------------------------------------
+    def row_comm(self, comm: SimComm, rank: int) -> SubComm:
+        """Communicator over the grid row containing ``rank``."""
+        row, _ = self.coords_of(rank)
+        return comm.sub_comm(self.row_ranks(row))
+
+    def col_comm(self, comm: SimComm, rank: int) -> SubComm:
+        """Communicator over the grid column containing ``rank``."""
+        _, col = self.coords_of(rank)
+        return comm.sub_comm(self.col_ranks(col))
+
+    def local_shape(self, n: int) -> Tuple[int, int, int]:
+        """Local array shape (N/r, N/c, N) for a global N³ problem."""
+        if n % self.rows or n % self.cols:
+            raise MPIError(
+                f"N={n} must be divisible by grid dims {self.rows}x{self.cols}"
+            )
+        return (n // self.rows, n // self.cols, n)

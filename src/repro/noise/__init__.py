@@ -1,0 +1,6 @@
+"""Seeded measurement-noise models (background traffic, capture jitter,
+window overhead). See :mod:`repro.noise.models`."""
+
+from .models import QUIET, NoiseConfig, NoiseModel
+
+__all__ = ["NoiseConfig", "NoiseModel", "QUIET"]

@@ -1,0 +1,59 @@
+"""PAPI-like multi-component measurement library (simulated).
+
+The public surface mirrors PAPI-C: a library instance per node
+(:func:`library_init` / :class:`Papi`), a component registry, and
+per-component :class:`EventSet` objects with start/read/stop/reset
+semantics. See the paper's Table I/II for the event spellings.
+"""
+
+from .component import Component, ComponentRegistry, NativeEventHandle
+from .components import (
+    InfinibandComponent,
+    NVMLComponent,
+    PCPComponent,
+    PerfUncoreComponent,
+)
+from .consts import (
+    COMPONENT_DELIMITER,
+    PAPI_EINVAL,
+    PAPI_EISRUN,
+    PAPI_ENOCMP,
+    PAPI_ENOEVNT,
+    PAPI_ENOTRUN,
+    PAPI_EPERM,
+    PAPI_OK,
+    PAPI_RUNNING,
+    PAPI_STOPPED,
+    PAPI_VER_CURRENT,
+    strerror,
+)
+from .eventset import EventSet
+from .hl import HighLevelApi, RegionStats
+from .papi import Papi, library_init
+
+__all__ = [
+    "COMPONENT_DELIMITER",
+    "Component",
+    "ComponentRegistry",
+    "EventSet",
+    "HighLevelApi",
+    "InfinibandComponent",
+    "RegionStats",
+    "NVMLComponent",
+    "NativeEventHandle",
+    "PAPI_EINVAL",
+    "PAPI_EISRUN",
+    "PAPI_ENOCMP",
+    "PAPI_ENOEVNT",
+    "PAPI_ENOTRUN",
+    "PAPI_EPERM",
+    "PAPI_OK",
+    "PAPI_RUNNING",
+    "PAPI_STOPPED",
+    "PAPI_VER_CURRENT",
+    "PCPComponent",
+    "Papi",
+    "PerfUncoreComponent",
+    "library_init",
+    "strerror",
+]

@@ -1,0 +1,13 @@
+"""Built-in PAPI components: pcp, perf_event_uncore, nvml, infiniband."""
+
+from .infiniband import InfinibandComponent
+from .nvml import NVMLComponent
+from .pcp import PCPComponent
+from .perf_nest import PerfUncoreComponent
+
+__all__ = [
+    "InfinibandComponent",
+    "NVMLComponent",
+    "PCPComponent",
+    "PerfUncoreComponent",
+]

@@ -1,0 +1,67 @@
+"""InfiniBand component: network port counters (Table II).
+
+Event spelling matches the paper:
+``infiniband:::mlx5_0_1_ext:port_recv_data`` (and ``port_xmit_data``).
+
+Like the hardware, ``port_*_data`` counters tick in 4-byte units; the
+paper uses jumps in ``port_recv_data`` to identify the two All2All
+phases of the 3D-FFT (Fig 11).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ...errors import PapiNoEvent
+from ...machine.node import Node
+from ..component import Component, NativeEventHandle
+from ..consts import COMPONENT_DELIMITER
+
+_EVENT_RE = re.compile(
+    r"^(?P<port>.+_ext):(?P<counter>port_(?:recv|xmit)_data)$")
+
+
+class InfinibandComponent(Component):
+    """PAPI component over the simulated NIC port counters."""
+
+    name = "infiniband"
+    description = "InfiniBand umad port counters (4-byte units)"
+    read_latency_seconds = 5.0e-5
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # ------------------------------------------------------------------
+    def list_events(self) -> List[str]:
+        events = []
+        for nic in self.node.nics:
+            for counter in ("port_recv_data", "port_xmit_data"):
+                events.append(
+                    f"{self.name}{COMPONENT_DELIMITER}{nic.name}:{counter}")
+        return events
+
+    def open_event(self, name: str) -> NativeEventHandle:
+        body = self.strip_prefix(name)
+        m = _EVENT_RE.match(body)
+        if not m:
+            raise PapiNoEvent(
+                f"bad infiniband event {name!r}; expected "
+                f"infiniband:::<port>_ext:port_[recv|xmit]_data"
+            )
+        matches = [n for n in self.node.nics if n.name == m.group("port")]
+        if not matches:
+            raise PapiNoEvent(
+                f"no IB port {m.group('port')!r} on "
+                f"{self.node.config.name}; "
+                f"available: {[n.name for n in self.node.nics]}"
+            )
+        nic = matches[0]
+        counter = m.group("counter")
+
+        def reader() -> int:
+            return (nic.port_recv_data if counter == "port_recv_data"
+                    else nic.port_xmit_data)
+
+        return NativeEventHandle(
+            name=name, reader=reader, component=self, units="4-byte words")

@@ -1,0 +1,69 @@
+"""NVML component: GPU board power (Table II).
+
+Event spelling matches the paper:
+``nvml:::Tesla_V100-SXM2-16GB:device_0:power``.
+
+NVML power is a *gauge* — the handle is marked ``instantaneous`` so
+event-set reads return the current level in milliwatts (NVML units)
+rather than a delta. In Fig 11 these samples form the power spikes
+that flank the host-memory read/write bursts of each 1D-FFT phase.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ...errors import PapiNoEvent
+from ...machine.node import Node
+from ..component import Component, NativeEventHandle
+from ..consts import COMPONENT_DELIMITER
+
+_EVENT_RE = re.compile(
+    r"^(?P<gpu>[^:]+):device_(?P<device>\d+):(?P<what>power)$")
+
+
+class NVMLComponent(Component):
+    """PAPI component over the simulated GPUs' power telemetry."""
+
+    name = "nvml"
+    description = "NVIDIA Management Library (GPU power, mW)"
+    read_latency_seconds = 2.0e-4  # NVML queries are sub-millisecond
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # ------------------------------------------------------------------
+    def list_events(self) -> List[str]:
+        return [
+            f"{self.name}{COMPONENT_DELIMITER}{gpu.name}:"
+            f"device_{gpu.device_id}:power"
+            for gpu in self.node.gpus
+        ]
+
+    def open_event(self, name: str) -> NativeEventHandle:
+        body = self.strip_prefix(name)
+        m = _EVENT_RE.match(body)
+        if not m:
+            raise PapiNoEvent(
+                f"bad nvml event {name!r}; expected "
+                f"nvml:::<gpu-name>:device_<n>:power"
+            )
+        device_id = int(m.group("device"))
+        matches = [g for g in self.node.gpus
+                   if g.device_id == device_id and g.name == m.group("gpu")]
+        if not matches:
+            raise PapiNoEvent(
+                f"no GPU {m.group('gpu')!r} with device id {device_id} "
+                f"on {self.node.config.name}"
+            )
+        gpu = matches[0]
+
+        def reader() -> int:
+            # NVML reports milliwatts.
+            return int(round(gpu.power_at() * 1000.0))
+
+        return NativeEventHandle(
+            name=name, reader=reader, component=self,
+            instantaneous=True, units="mW",
+        )

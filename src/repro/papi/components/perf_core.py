@@ -1,0 +1,74 @@
+"""perf_event component: core-private counters (no privilege needed).
+
+The counterpoint to the nest events: cycle/instruction/FLOP counters
+are private to the core a thread runs on, so the kernel exposes them
+to ordinary users — this is why, on Summit, ordinary PAPI users can
+measure *compute* but need PCP for *memory traffic*. Pairing this
+component's FLOP counts with the PCP component's byte counts yields
+measured arithmetic intensity, the quantity behind the paper's
+reference [9].
+
+Event spelling: ``perf::cycles:cpu=N`` / ``perf::instructions:cpu=N``
+/ ``perf::fp_ops:cpu=N`` with N a *core* index on the node.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ...errors import PapiNoEvent
+from ...machine.node import Node
+from ..component import Component, NativeEventHandle
+
+_EVENT_RE = re.compile(
+    r"^perf::(?P<what>cycles|instructions|fp_ops)(?::cpu=(?P<cpu>\d+))?$")
+
+_READERS = {
+    "cycles": lambda core: core.counter_cycles,
+    "instructions": lambda core: core.counter_instructions,
+    "fp_ops": lambda core: core.counter_flops,
+}
+
+
+class PerfCoreComponent(Component):
+    """Core-private PMU events (cycles, instructions, FLOPs)."""
+
+    name = "perf_event"
+    description = "Linux perf_event core PMU (unprivileged, core-private)"
+    read_latency_seconds = 5.0e-6
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # ------------------------------------------------------------------
+    def owns_event(self, name: str) -> bool:
+        return super().owns_event(name) or name.startswith("perf::")
+
+    def list_events(self) -> List[str]:
+        events = []
+        n_cores = self.node.config.n_sockets * self.node.config.socket.n_cores
+        for what in sorted(_READERS):
+            for cpu in range(n_cores):
+                events.append(f"perf::{what}:cpu={cpu}")
+        return events
+
+    def open_event(self, name: str) -> NativeEventHandle:
+        body = self.strip_prefix(name)
+        m = _EVENT_RE.match(body)
+        if not m:
+            raise PapiNoEvent(
+                f"bad perf_event name {name!r}; expected "
+                "perf::(cycles|instructions|fp_ops)[:cpu=N]")
+        cpu = int(m.group("cpu") or 0)
+        total_cores = (self.node.config.n_sockets
+                       * self.node.config.socket.n_cores)
+        if not 0 <= cpu < total_cores:
+            raise PapiNoEvent(
+                f"cpu {cpu} out of range 0..{total_cores - 1}")
+        core = self.node.core(cpu)
+        reader = _READERS[m.group("what")]
+        return NativeEventHandle(
+            name=name, reader=lambda: reader(core), component=self,
+            units=m.group("what"),
+        )

@@ -1,0 +1,73 @@
+"""perf_event_uncore component: direct (privileged) nest access.
+
+This is the Tellico measurement path: "a two-socket testbed ... in
+which we do have elevated privileges, so we measure nest events without
+the use of PCP. We define the perf_uncore events using the Nest IMC
+Memory Offsets."
+
+Event names use the perf PMU spelling from Table I:
+``power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0``. On machines where the
+simulated user is unprivileged (Summit) the component reports itself
+unavailable and opening events raises ``PAPI_EPERM`` — the exact
+failure that forces users onto the PCP component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...errors import PapiNoEvent, PapiPermissionDenied, PrivilegeError, SimulationError
+from ...machine.node import Node
+from ...pmu.events import all_uncore_events, socket_instance_cpu
+from ...pmu.perf import open_uncore_event, parse_uncore_event
+from ..component import Component, NativeEventHandle
+
+
+class PerfUncoreComponent(Component):
+    """Direct nest counter access through perf_event."""
+
+    name = "perf_event_uncore"
+    description = "Linux perf_event uncore PMUs (POWER9 nest IMC)"
+    #: One syscall-ish read per access.
+    read_latency_seconds = 2.0e-5
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # ------------------------------------------------------------------
+    def owns_event(self, name: str) -> bool:
+        if super().owns_event(name):
+            return True
+        # PAPI also accepts bare pmu::event names for native events.
+        return name.startswith("power9_nest_mba")
+
+    def is_available(self) -> Tuple[bool, str]:
+        if not self.node.user_privileged:
+            return False, ("uncore PMUs require elevated privileges on "
+                           f"{self.node.config.name}; use pcp::: events")
+        return True, ""
+
+    # ------------------------------------------------------------------
+    def list_events(self) -> List[str]:
+        """All nest events, one set per socket (via ``cpu=`` qualifier)."""
+        events = []
+        for socket in self.node.sockets:
+            cpu = socket_instance_cpu(self.node.config, socket.socket_id)
+            first_cpu_on_socket = cpu - (
+                self.node.config.socket.n_cores * 4 - 1)
+            events.extend(all_uncore_events(self.node.config,
+                                            cpu=first_cpu_on_socket))
+        return events
+
+    def open_event(self, name: str) -> NativeEventHandle:
+        bare = self.strip_prefix(name)
+        try:
+            parse_uncore_event(bare)
+        except SimulationError as exc:
+            raise PapiNoEvent(str(exc)) from exc
+        try:
+            handle = open_uncore_event(self.node, bare)
+        except PrivilegeError as exc:
+            raise PapiPermissionDenied(str(exc)) from exc
+        return NativeEventHandle(
+            name=name, reader=handle.read, component=self, units="bytes")

@@ -1,0 +1,42 @@
+"""PAPI constants mirrored from the C library.
+
+Only the subset exercised by the reproduction is present; values match
+``papi.h`` so code written against real python-papi reads naturally.
+"""
+
+from __future__ import annotations
+
+#: Library version handshake value (PAPI_VER_CURRENT analogue).
+PAPI_VER_CURRENT = 0x07000000
+
+PAPI_OK = 0
+PAPI_EINVAL = -1
+PAPI_ENOMEM = -2
+PAPI_ENOEVNT = -7
+PAPI_EPERM = -8
+PAPI_ENOTRUN = -9
+PAPI_EISRUN = -10
+PAPI_ENOCMP = -20
+
+#: Event set states (bit flags, as in papi.h).
+PAPI_STOPPED = 0x01
+PAPI_RUNNING = 0x02
+
+#: Component delimiter in fully-qualified event names.
+COMPONENT_DELIMITER = ":::"
+
+ERROR_NAMES = {
+    PAPI_OK: "PAPI_OK",
+    PAPI_EINVAL: "PAPI_EINVAL",
+    PAPI_ENOMEM: "PAPI_ENOMEM",
+    PAPI_ENOEVNT: "PAPI_ENOEVNT",
+    PAPI_EPERM: "PAPI_EPERM",
+    PAPI_ENOTRUN: "PAPI_ENOTRUN",
+    PAPI_EISRUN: "PAPI_EISRUN",
+    PAPI_ENOCMP: "PAPI_ENOCMP",
+}
+
+
+def strerror(code: int) -> str:
+    """PAPI_strerror analogue."""
+    return ERROR_NAMES.get(code, f"PAPI error {code}")

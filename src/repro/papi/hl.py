@@ -1,0 +1,125 @@
+"""PAPI high-level (region) API.
+
+Mirrors PAPI's modern ``PAPI_hl_region_begin`` / ``PAPI_hl_region_end``
+interface: name a region, and the library accumulates the configured
+events for every dynamic instance of it, producing the per-region
+report tools like ``papi_hl_output_writer`` render. Third-party tools
+in the paper's ecosystem (TAU, Score-P, Caliper) wrap exactly this
+pattern around user code.
+
+Regions may nest; counts are attributed to every open region (as in
+PAPI, which reads counters at each boundary). Example::
+
+    hl = HighLevelApi(papi, events=all_pcp_events(node.config, 0))
+    with hl.region("resort"):
+        ...  # run work on the simulated node
+    print(hl.report())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PapiInvalidArgument
+from .eventset import EventSet
+from .papi import Papi
+
+
+@dataclasses.dataclass
+class RegionStats:
+    """Accumulated counts for one named region."""
+
+    name: str
+    instances: int = 0
+    totals: Dict[str, int] = dataclasses.field(default_factory=dict)
+    seconds: float = 0.0
+
+    def mean(self, event: str) -> float:
+        if self.instances == 0:
+            return 0.0
+        return self.totals.get(event, 0) / self.instances
+
+
+class HighLevelApi:
+    """Region-based measurement over one event list."""
+
+    def __init__(self, papi: Papi, events: Sequence[str]):
+        if not events:
+            raise PapiInvalidArgument("high-level API needs >= 1 event")
+        self.papi = papi
+        self.events = list(events)
+        self._eventset: EventSet = papi.create_eventset()
+        self._eventset.add_events(self.events)
+        self._open: List[_OpenRegion] = []
+        self.regions: Dict[str, RegionStats] = {}
+
+    # ------------------------------------------------------------------
+    def region_begin(self, name: str) -> None:
+        """PAPI_hl_region_begin."""
+        if not name:
+            raise PapiInvalidArgument("region needs a name")
+        if not self._eventset.running:
+            self._eventset.start()
+        snapshot = dict(zip(self.events, self._eventset.read()))
+        self._open.append(_OpenRegion(name=name, snapshot=snapshot,
+                                      t0=self.papi.node.clock))
+
+    def region_end(self, name: str) -> None:
+        """PAPI_hl_region_end (must match the innermost open region)."""
+        if not self._open:
+            raise PapiInvalidArgument(f"no region open (ending {name!r})")
+        top = self._open[-1]
+        if top.name != name:
+            raise PapiInvalidArgument(
+                f"region mismatch: ending {name!r} but innermost open "
+                f"region is {top.name!r}")
+        self._open.pop()
+        # Timestamp before the closing counter read so the region's
+        # duration covers user work, not the read's own round trip.
+        t_end = self.papi.node.clock
+        now = dict(zip(self.events, self._eventset.read()))
+        stats = self.regions.setdefault(name, RegionStats(name=name))
+        stats.instances += 1
+        stats.seconds += t_end - top.t0
+        for event in self.events:
+            delta = now[event] - top.snapshot[event]
+            stats.totals[event] = stats.totals.get(event, 0) + delta
+
+    @contextlib.contextmanager
+    def region(self, name: str):
+        """Context-manager sugar over begin/end."""
+        self.region_begin(name)
+        try:
+            yield self
+        finally:
+            self.region_end(name)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop counting (all regions must be closed)."""
+        if self._open:
+            raise PapiInvalidArgument(
+                f"regions still open: {[r.name for r in self._open]}")
+        if self._eventset.running:
+            self._eventset.stop()
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-region totals (papi_hl_output_writer shape)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, stats in sorted(self.regions.items()):
+            entry: Dict[str, float] = {
+                "instances": stats.instances,
+                "seconds": stats.seconds,
+            }
+            entry.update({e: float(v) for e, v in stats.totals.items()})
+            out[name] = entry
+        return out
+
+
+@dataclasses.dataclass
+class _OpenRegion:
+    name: str
+    snapshot: Dict[str, int]
+    t0: float

@@ -1,0 +1,114 @@
+"""The PAPI library facade.
+
+:class:`Papi` plays the role of the initialised PAPI library on one
+node: it builds the component registry from the hardware that is
+actually present (and reachable — the perf_event_uncore component is
+registered but *unavailable* on Summit, where the user lacks nest
+privileges), creates event sets, and offers the utility queries that
+``papi_avail``/``papi_native_avail`` provide on the command line.
+
+Typical use (mirrors the C call sequence)::
+
+    papi = Papi(node, pmcd=start_pmcd_for_node(node))
+    es = papi.create_eventset()
+    es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc."
+                 "PM_MBA0_READ_BYTES.value:cpu87")
+    es.start()
+    ...  # run the kernel on the simulated node
+    counts = es.stop()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import PapiNoEvent
+from ..machine.node import Node
+from ..pcp.client import PmapiContext
+from ..pcp.pmcd import PMCD
+from .component import Component, ComponentRegistry
+from .components.infiniband import InfinibandComponent
+from .components.nvml import NVMLComponent
+from .components.pcp import PCPComponent
+from .components.perf_core import PerfCoreComponent
+from .components.perf_nest import PerfUncoreComponent
+from .components.rapl import RaplComponent
+from .consts import PAPI_VER_CURRENT
+from .eventset import EventSet
+
+
+class Papi:
+    """One initialised PAPI library instance bound to a node."""
+
+    def __init__(self, node: Node, pmcd: Optional[PMCD] = None):
+        self.node = node
+        self.version = PAPI_VER_CURRENT
+        self.components = ComponentRegistry()
+        # perf_event (core-private) is available to everyone;
+        # perf_event_uncore exists everywhere but its availability
+        # depends on privilege (checked at open/is_available time).
+        self.components.register(PerfCoreComponent(node))
+        self.components.register(PerfUncoreComponent(node))
+        self.components.register(RaplComponent(node))
+        if pmcd is not None:
+            context = PmapiContext(pmcd, node=node)
+            self.components.register(PCPComponent(context, node))
+        if node.gpus:
+            self.components.register(NVMLComponent(node))
+        if node.nics:
+            self.components.register(InfinibandComponent(node))
+
+    # ------------------------------------------------------------------
+    def create_eventset(self) -> EventSet:
+        return EventSet(self)
+
+    def component(self, name: str) -> Component:
+        return self.components.get(name)
+
+    def component_names(self) -> List[str]:
+        return self.components.names()
+
+    # ------------------------------------------------------------------
+    def list_events(self, component: Optional[str] = None) -> List[str]:
+        """papi_native_avail: enumerate native events."""
+        if component is not None:
+            return self.components.get(component).list_events()
+        events: List[str] = []
+        for cmp in self.components:
+            available, _ = cmp.is_available()
+            if available:
+                events.extend(cmp.list_events())
+        return events
+
+    def query_event(self, name: str) -> bool:
+        """PAPI_query_event: does the event exist (and open)?"""
+        try:
+            component = self.components.resolve_event(name)
+            component.open_event(name)
+            return True
+        except PapiNoEvent:
+            return False
+
+    def component_report(self) -> Dict[str, Dict[str, str]]:
+        """papi_component_avail-style availability report."""
+        report: Dict[str, Dict[str, str]] = {}
+        for cmp in self.components:
+            available, reason = cmp.is_available()
+            report[cmp.name] = {
+                "description": cmp.description,
+                "available": "yes" if available else "no",
+                "reason": reason,
+                "num_events": str(len(cmp.list_events())),
+            }
+        return report
+
+
+def library_init(node: Node, pmcd: Optional[PMCD] = None,
+                 version: int = PAPI_VER_CURRENT) -> Papi:
+    """PAPI_library_init analogue (version handshake included)."""
+    if version != PAPI_VER_CURRENT:
+        raise PapiNoEvent(
+            f"PAPI version mismatch: caller built against {version:#x}, "
+            f"library is {PAPI_VER_CURRENT:#x}"
+        )
+    return Papi(node, pmcd=pmcd)

@@ -1,0 +1,145 @@
+"""PAPI preset events: portable names over native events.
+
+Real PAPI ships a preset table (``PAPI_FP_OPS``, ``PAPI_TOT_CYC``, …)
+that maps portable event names onto each architecture's native events,
+sometimes as *derived* combinations. The reproduction implements the
+same layer: presets resolve to native events of the simulated
+components, including derived presets computed from several natives
+(e.g. ``PAPI_MEM_BYTES`` sums the sixteen nest channel counters — a
+derived preset this package adds for convenience, marked non-standard).
+
+Use :func:`resolve_preset` to translate, or
+:class:`PresetEventSet` to measure presets directly with event-set
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import PapiNoEvent
+from ..pmu.events import all_pcp_events, all_uncore_events
+from .papi import Papi
+
+#: Derivation operators for derived presets.
+_SUM = "DERIVED_ADD"
+_SINGLE = "NOT_DERIVED"
+
+
+@dataclasses.dataclass(frozen=True)
+class PresetDefinition:
+    """One preset: how it derives from native events."""
+
+    name: str
+    description: str
+    derivation: str
+    #: Builds the native event list for (papi, cpu/socket qualifier).
+    natives: Callable[[Papi, int], List[str]]
+    standard: bool = True
+
+
+def _core_event(what: str):
+    def build(papi: Papi, cpu: int) -> List[str]:
+        return [f"perf::{what}:cpu={cpu}"]
+
+    return build
+
+
+def _nest_events(papi: Papi, socket_id: int) -> List[str]:
+    node = papi.node
+    if node.user_privileged:
+        threads = node.config.socket.n_cores * 4
+        return all_uncore_events(node.config, cpu=socket_id * threads)
+    return all_pcp_events(node.config, socket_id)
+
+
+PRESETS: Dict[str, PresetDefinition] = {
+    "PAPI_TOT_CYC": PresetDefinition(
+        name="PAPI_TOT_CYC", description="Total cycles",
+        derivation=_SINGLE, natives=_core_event("cycles")),
+    "PAPI_TOT_INS": PresetDefinition(
+        name="PAPI_TOT_INS", description="Instructions completed",
+        derivation=_SINGLE, natives=_core_event("instructions")),
+    "PAPI_FP_OPS": PresetDefinition(
+        name="PAPI_FP_OPS", description="Floating point operations",
+        derivation=_SINGLE, natives=_core_event("fp_ops")),
+    "PAPI_MEM_BYTES": PresetDefinition(
+        name="PAPI_MEM_BYTES",
+        description="Bytes moved to/from memory (nest, all channels; "
+                    "non-standard derived preset)",
+        derivation=_SUM, natives=_nest_events, standard=False),
+}
+
+
+def available_presets(papi: Papi) -> List[str]:
+    """Presets whose native events all resolve on this library."""
+    out = []
+    for name, preset in PRESETS.items():
+        try:
+            natives = preset.natives(papi, 0)
+            for native in natives:
+                papi.components.resolve_event(native)
+            out.append(name)
+        except Exception:
+            continue
+    return sorted(out)
+
+
+def resolve_preset(papi: Papi, name: str, qualifier: int = 0
+                   ) -> PresetDefinition:
+    preset = PRESETS.get(name)
+    if preset is None:
+        raise PapiNoEvent(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    return preset
+
+
+class PresetEventSet:
+    """Measure preset events with start/read/stop semantics.
+
+    One underlying event set per component is managed internally (PAPI
+    presets historically hid the same multiplexing), so presets from
+    different components can be measured together.
+    """
+
+    def __init__(self, papi: Papi, presets: Sequence[str],
+                 qualifier: int = 0):
+        if not presets:
+            raise PapiNoEvent("need at least one preset")
+        self.papi = papi
+        self.qualifier = qualifier
+        self._presets = [resolve_preset(papi, p) for p in presets]
+        self._native_sets: Dict[str, object] = {}
+        self._bindings: List[List[str]] = []
+        for preset in self._presets:
+            natives = preset.natives(papi, qualifier)
+            self._bindings.append(natives)
+            for native in natives:
+                component = papi.components.resolve_event(native)
+                es = self._native_sets.get(component.name)
+                if es is None:
+                    es = papi.create_eventset()
+                    self._native_sets[component.name] = es
+                if native not in es.event_names:
+                    es.add_event(native)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for es in self._native_sets.values():
+            es.start()
+
+    def read(self) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for es in self._native_sets.values():
+            values.update(es.read_dict())
+        out = {}
+        for preset, natives in zip(self._presets, self._bindings):
+            out[preset.name] = sum(values[n] for n in natives)
+        return out
+
+    def stop(self) -> Dict[str, int]:
+        result = self.read()
+        for es in self._native_sets.values():
+            es.stop()
+        return result

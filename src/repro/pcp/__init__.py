@@ -1,0 +1,41 @@
+"""Simulated Performance Co-Pilot stack: PMNS, PMDAs, the PMCD daemon
+and the client (pmapi) context. The privileged perfevent PMDA is what
+lets unprivileged users read nest counters — the mechanism the paper
+validates."""
+
+from .client import PmapiContext
+from .pmcd import PMCD, start_pmcd_for_node
+from .pmlogger import ArchiveRecord, PmLogger
+from .pmda import PMDA, PerfeventPMDA, make_pmid, pmid_domain
+from .pmns import PMNS
+from .protocol import (
+    ChildrenRequest,
+    ChildrenResponse,
+    FetchRequest,
+    FetchResponse,
+    LookupRequest,
+    LookupResponse,
+    MetricValues,
+    PCPStatus,
+)
+
+__all__ = [
+    "ArchiveRecord",
+    "ChildrenRequest",
+    "PmLogger",
+    "ChildrenResponse",
+    "FetchRequest",
+    "FetchResponse",
+    "LookupRequest",
+    "LookupResponse",
+    "MetricValues",
+    "PCPStatus",
+    "PMCD",
+    "PMDA",
+    "PMNS",
+    "PerfeventPMDA",
+    "PmapiContext",
+    "make_pmid",
+    "pmid_domain",
+    "start_pmcd_for_node",
+]

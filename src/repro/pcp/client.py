@@ -1,0 +1,98 @@
+"""Client-side PCP context (the libpcp/pmapi equivalent).
+
+User-space code — in particular the PAPI PCP component — talks to the
+daemon through a :class:`PmapiContext`. Each call is one daemon round
+trip: the client's node clock advances by the configured latency, so
+measurement windows taken through PCP are slightly longer than direct
+reads. That extra window (milliseconds) is the only systematic
+difference between the two paths and is swamped by kernel runtime for
+all but the smallest problems — the paper's accuracy result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PCPError
+from ..machine.node import Node
+from .pmcd import PMCD
+from .protocol import (
+    ChildrenRequest,
+    ChildrenResponse,
+    FetchRequest,
+    FetchResponse,
+    LookupRequest,
+    LookupResponse,
+    PCPStatus,
+)
+
+
+class PmapiContext:
+    """A connection from (unprivileged) user space to a PMCD."""
+
+    def __init__(self, pmcd: PMCD, node: Optional[Node] = None):
+        """``node`` is the machine whose clock pays the round trips;
+        pass None for a free-running client (no latency accounting)."""
+        self.pmcd = pmcd
+        self.node = node
+        self.round_trips = 0
+
+    # ------------------------------------------------------------------
+    def _round_trip(self) -> None:
+        self.round_trips += 1
+        if self.node is not None and self.pmcd.round_trip_seconds > 0:
+            self.node.advance(self.pmcd.round_trip_seconds)
+
+    # ------------------------------------------------------------------
+    def lookup_names(self, names: Sequence[str]) -> List[int]:
+        """pmLookupName: resolve metric names to PMIDs."""
+        self._round_trip()
+        response = self.pmcd.handle(LookupRequest(names=tuple(names)))
+        if not isinstance(response, LookupResponse):
+            raise PCPError(f"unexpected response: {response}")
+        if response.status != PCPStatus.OK:
+            bad = [n for n, s in zip(names, response.name_status)
+                   if s != PCPStatus.OK]
+            raise PCPError(f"unknown metric name(s): {bad}")
+        return list(response.pmids)
+
+    def fetch(self, pmids: Sequence[int]) -> Dict[int, Dict[str, int]]:
+        """pmFetch: current values for each PMID, keyed by instance."""
+        self._round_trip()
+        response = self.pmcd.handle(FetchRequest(pmids=tuple(pmids)))
+        if not isinstance(response, FetchResponse):
+            raise PCPError(f"unexpected response: {response}")
+        if response.status != PCPStatus.OK:
+            raise PCPError(f"fetch failed: {response.status.name}")
+        return {m.pmid: dict(m.values) for m in response.metrics}
+
+    def fetch_one(self, name: str, instance: str) -> int:
+        """Convenience: one metric, one instance."""
+        pmid = self.lookup_names([name])[0]
+        values = self.fetch([pmid])[pmid]
+        try:
+            return values[instance]
+        except KeyError:
+            raise PCPError(
+                f"metric {name!r} has no instance {instance!r}; "
+                f"available: {sorted(values)}"
+            ) from None
+
+    def children(self, prefix: str = "") -> List[str]:
+        """pmGetChildren: names one level below ``prefix``."""
+        self._round_trip()
+        response = self.pmcd.handle(ChildrenRequest(prefix=prefix))
+        if not isinstance(response, ChildrenResponse):
+            raise PCPError(f"unexpected response: {response}")
+        if response.status != PCPStatus.OK:
+            raise PCPError(f"unknown PMNS prefix: {prefix!r}")
+        return list(response.children)
+
+    def traverse(self, prefix: str = "") -> List[str]:
+        """pmTraversePMNS: all metric names under ``prefix``.
+
+        Served from the daemon's PMNS in one round trip (the real
+        protocol batches the traversal similarly).
+        """
+        self._round_trip()
+        return list(self.pmcd.pmns.traverse(prefix))

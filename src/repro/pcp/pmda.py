@@ -1,0 +1,95 @@
+"""Performance Metrics Domain Agents (PMDAs).
+
+A PMDA owns a *domain* of metrics and answers fetches for them. The
+agent that matters here is the **perfevent PMDA**: it is the piece IBM
+deploys on Summit that opens the nest perf events *with elevated
+privileges* and re-exports them as PCP metrics, so ordinary users can
+read socket-wide memory-traffic counters through the daemon.
+
+PMIDs follow PCP's encoding: ``domain << 22 | item`` (cluster folded
+into the item space for simplicity).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple
+
+from ..errors import PCPError
+from ..machine.node import Node
+from ..pmu.events import pcp_metric_name, socket_instance_cpu
+
+PMID_DOMAIN_SHIFT = 22
+
+
+def make_pmid(domain: int, item: int) -> int:
+    if not 0 <= domain < 512:
+        raise PCPError(f"domain {domain} out of range")
+    if not 0 <= item < (1 << PMID_DOMAIN_SHIFT):
+        raise PCPError(f"item {item} out of range")
+    return (domain << PMID_DOMAIN_SHIFT) | item
+
+
+def pmid_domain(pmid: int) -> int:
+    return pmid >> PMID_DOMAIN_SHIFT
+
+
+class PMDA(abc.ABC):
+    """Base agent: a metric table plus a fetch callback."""
+
+    def __init__(self, name: str, domain: int):
+        self.name = name
+        self.domain = domain
+
+    @abc.abstractmethod
+    def metric_table(self) -> List[Tuple[str, int]]:
+        """All (metric name, pmid) pairs this agent serves."""
+
+    @abc.abstractmethod
+    def fetch(self, pmid: int) -> Dict[str, int]:
+        """Current values of ``pmid``, keyed by instance name."""
+
+
+class PerfeventPMDA(PMDA):
+    """Exports one node's nest counters as PCP metrics.
+
+    The agent is constructed with privileged access to the node's nest
+    blocks — this mirrors PMCD running as root on Summit. Each metric
+    has one instance per socket, named after the socket's last hardware
+    thread (``cpu87``/``cpu175``), matching the instance qualifiers in
+    the paper's Table I.
+    """
+
+    DEFAULT_DOMAIN = 127  # the real perfevent PMDA's PCP domain number
+
+    def __init__(self, node: Node, domain: int = DEFAULT_DOMAIN):
+        super().__init__("perfevent", domain)
+        self.node = node
+        self._metrics: Dict[int, Tuple[int, bool]] = {}
+        self._names: List[Tuple[str, int]] = []
+        item = 0
+        for channel in range(node.config.socket.n_memory_channels):
+            for write in (False, True):
+                pmid = make_pmid(domain, item)
+                self._metrics[pmid] = (channel, write)
+                self._names.append((pcp_metric_name(channel, write), pmid))
+                item += 1
+
+    # ------------------------------------------------------------------
+    def metric_table(self) -> List[Tuple[str, int]]:
+        return list(self._names)
+
+    def fetch(self, pmid: int) -> Dict[str, int]:
+        try:
+            channel, write = self._metrics[pmid]
+        except KeyError:
+            raise PCPError(f"perfevent PMDA does not serve pmid {pmid}") from None
+        direction = "WRITE" if write else "READ"
+        event = f"PM_MBA{channel}_{direction}_BYTES"
+        values: Dict[str, int] = {}
+        for socket in self.node.sockets:
+            instance = f"cpu{socket_instance_cpu(self.node.config, socket.socket_id)}"
+            # The PMDA holds the privileged handle — this read succeeds
+            # even though the *user* on Summit is unprivileged.
+            values[instance] = socket.nest.read_event(event, privileged=True)
+        return values

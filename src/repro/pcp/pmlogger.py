@@ -1,0 +1,95 @@
+"""pmlogger: periodic archiving of PCP metrics.
+
+Real PCP deployments run ``pmlogger`` next to PMCD, sampling configured
+metrics on an interval into archives that tools replay later. The
+simulated logger does the same against a :class:`PmapiContext`: each
+``sample()`` costs one daemon round trip (charged to the client node's
+clock), records a timestamped snapshot, and the archive answers replay
+queries — including rate conversion between consecutive samples, which
+is how counter metrics like ``PM_MBA*_BYTES`` become bandwidth curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PCPError
+from .client import PmapiContext
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchiveRecord:
+    """One timestamped sample of every logged metric instance."""
+
+    timestamp: float
+    values: Dict[Tuple[str, str], int]  # (metric, instance) -> value
+
+
+class PmLogger:
+    """Samples a fixed metric set into an in-memory archive."""
+
+    def __init__(self, context: PmapiContext, metrics: Sequence[str],
+                 interval_seconds: float = 1.0):
+        if not metrics:
+            raise PCPError("pmlogger needs at least one metric")
+        if interval_seconds <= 0:
+            raise PCPError("sampling interval must be positive")
+        self.context = context
+        self.metrics = list(metrics)
+        self.interval_seconds = interval_seconds
+        self._pmids = context.lookup_names(self.metrics)
+        self.archive: List[ArchiveRecord] = []
+
+    # ------------------------------------------------------------------
+    def sample(self) -> ArchiveRecord:
+        """Take one sample now (one pmFetch round trip)."""
+        fetched = self.context.fetch(self._pmids)
+        values: Dict[Tuple[str, str], int] = {}
+        for metric, pmid in zip(self.metrics, self._pmids):
+            for instance, value in fetched[pmid].items():
+                values[(metric, instance)] = value
+        timestamp = (self.context.node.clock
+                     if self.context.node is not None
+                     else float(len(self.archive)))
+        record = ArchiveRecord(timestamp=timestamp, values=values)
+        self.archive.append(record)
+        return record
+
+    def run(self, n_samples: int) -> None:
+        """Sample ``n_samples`` times, idling ``interval_seconds``
+        between fetches (advancing the client node's clock)."""
+        for i in range(n_samples):
+            if i and self.context.node is not None:
+                self.context.node.advance(self.interval_seconds)
+            self.sample()
+
+    # ------------------------------------------------------------------
+    def series(self, metric: str, instance: str) -> List[Tuple[float, int]]:
+        """Replay one metric instance as (timestamp, value) pairs."""
+        key = (metric, instance)
+        out = [(rec.timestamp, rec.values[key])
+               for rec in self.archive if key in rec.values]
+        if not out:
+            raise PCPError(f"no archived data for {metric}[{instance}]")
+        return out
+
+    def rates(self, metric: str, instance: str) -> List[Tuple[float, float]]:
+        """Counter metric -> rate curve (PCP's rate conversion)."""
+        points = self.series(metric, instance)
+        out = []
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t1 <= t0:
+                raise PCPError("archive timestamps not increasing")
+            out.append((t1, (v1 - v0) / (t1 - t0)))
+        return out
+
+    def instances_of(self, metric: str) -> List[str]:
+        for rec in self.archive:
+            found = sorted(inst for (m, inst) in rec.values if m == metric)
+            if found:
+                return found
+        return []
+
+    def __len__(self) -> int:
+        return len(self.archive)

@@ -1,0 +1,112 @@
+"""Performance Metrics Name Space (PMNS).
+
+PCP organises metrics in a dotted hierarchical namespace
+(``perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value``).
+:class:`PMNS` implements the tree with leaf→PMID mapping, child
+enumeration, and full traversal — the operations libpcp exposes as
+``pmLookupName``, ``pmGetChildren`` and ``pmTraversePMNS``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import PMNSError
+
+
+class _TreeNode:
+    __slots__ = ("children", "pmid")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, _TreeNode] = {}
+        self.pmid: Optional[int] = None  # set only on leaves
+
+
+class PMNS:
+    """The metric name tree."""
+
+    def __init__(self) -> None:
+        self._root = _TreeNode()
+        self._by_pmid: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, pmid: int) -> None:
+        """Add a leaf metric ``name`` with identifier ``pmid``."""
+        parts = self._split(name)
+        node = self._root
+        for part in parts:
+            if node.pmid is not None:
+                raise PMNSError(
+                    f"cannot register {name!r}: prefix is already a leaf"
+                )
+            node = node.children.setdefault(part, _TreeNode())
+        if node.children:
+            raise PMNSError(f"cannot make non-leaf {name!r} a metric")
+        if node.pmid is not None and node.pmid != pmid:
+            raise PMNSError(f"{name!r} already registered with another pmid")
+        if pmid in self._by_pmid and self._by_pmid[pmid] != name:
+            raise PMNSError(f"pmid {pmid} already bound to {self._by_pmid[pmid]!r}")
+        node.pmid = pmid
+        self._by_pmid[pmid] = name
+
+    # ------------------------------------------------------------------
+    def lookup(self, name: str) -> int:
+        """Name → PMID (pmLookupName for one name)."""
+        node = self._find(name)
+        if node is None or node.pmid is None:
+            raise PMNSError(f"unknown metric name: {name!r}")
+        return node.pmid
+
+    def name_of(self, pmid: int) -> str:
+        """PMID → name (pmNameID)."""
+        try:
+            return self._by_pmid[pmid]
+        except KeyError:
+            raise PMNSError(f"unknown pmid: {pmid}") from None
+
+    def children(self, prefix: str = "") -> List[Tuple[str, bool]]:
+        """Immediate children of ``prefix`` as (name, is_leaf) pairs."""
+        node = self._root if not prefix else self._find(prefix)
+        if node is None:
+            raise PMNSError(f"unknown PMNS node: {prefix!r}")
+        return sorted(
+            (child_name, child.pmid is not None)
+            for child_name, child in node.children.items()
+        )
+
+    def traverse(self, prefix: str = "") -> Iterator[str]:
+        """All leaf metric names at or below ``prefix``."""
+        node = self._root if not prefix else self._find(prefix)
+        if node is None:
+            raise PMNSError(f"unknown PMNS node: {prefix!r}")
+        yield from self._walk(node, prefix)
+
+    def __contains__(self, name: str) -> bool:
+        node = self._find(name)
+        return node is not None and node.pmid is not None
+
+    def __len__(self) -> int:
+        return len(self._by_pmid)
+
+    # ------------------------------------------------------------------
+    def _walk(self, node: _TreeNode, path: str) -> Iterator[str]:
+        if node.pmid is not None:
+            yield path
+        for name, child in sorted(node.children.items()):
+            child_path = f"{path}.{name}" if path else name
+            yield from self._walk(child, child_path)
+
+    def _find(self, name: str) -> Optional[_TreeNode]:
+        node = self._root
+        for part in self._split(name):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    @staticmethod
+    def _split(name: str) -> List[str]:
+        parts = name.split(".")
+        if not name or any(not p for p in parts):
+            raise PMNSError(f"malformed metric name: {name!r}")
+        return parts

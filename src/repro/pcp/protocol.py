@@ -1,0 +1,92 @@
+"""PCP client/daemon protocol messages (PDU equivalents).
+
+The real Performance Co-Pilot exchanges PDUs over a socket between the
+client libpcp and the PMCD daemon. Here the exchange is in-process but
+kept *message-shaped*: clients build request objects, the daemon
+dispatches on their type and returns response objects. This preserves
+the architectural indirection the paper studies (every fetch is a
+daemon round trip with a latency cost) while staying deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class PCPStatus(enum.IntEnum):
+    """Subset of PCP error codes (negative, like libpcp's PM_ERR_*)."""
+
+    OK = 0
+    PM_ERR_NAME = -12357       # unknown metric name
+    PM_ERR_PMID = -12358       # unknown metric id
+    PM_ERR_INDOM_INST = -12361  # unknown instance
+    PM_ERR_PERMISSION = -12387  # agent refused access
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupRequest:
+    """Resolve metric names to PMIDs (pmLookupName)."""
+
+    names: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupResponse:
+    status: PCPStatus
+    pmids: Tuple[int, ...] = ()
+    #: Per-name status for partial failures.
+    name_status: Tuple[PCPStatus, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchRequest:
+    """Fetch current values for a set of PMIDs (pmFetch)."""
+
+    pmids: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricValues:
+    """Values of one metric, keyed by instance identifier."""
+
+    pmid: int
+    values: Dict[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchResponse:
+    status: PCPStatus
+    #: Daemon timestamp of the fetch (simulated seconds).
+    timestamp: float = 0.0
+    metrics: Tuple[MetricValues, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ChildrenRequest:
+    """List the children of a PMNS node (pmGetChildren)."""
+
+    prefix: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ChildrenResponse:
+    status: PCPStatus
+    children: Tuple[str, ...] = ()
+    #: True for leaf children (actual metrics).
+    leaf_flags: Tuple[bool, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorResponse:
+    status: PCPStatus
+    detail: str = ""
+
+
+Request = object  # any of the *Request dataclasses
+Response = object  # any of the *Response dataclasses
+
+
+def ok(status: PCPStatus) -> bool:
+    return status == PCPStatus.OK

@@ -1,0 +1,216 @@
+"""PMCD over a real TCP socket.
+
+The in-process :class:`~repro.pcp.pmcd.PMCD` captures the architecture;
+this module adds the wire: a threaded TCP server speaking a
+line-delimited JSON encoding of the protocol PDUs, and a client
+transport that plugs into :class:`~repro.pcp.client.PmapiContext` by
+duck-typing the daemon's ``handle``/``pmns``/``round_trip_seconds``
+surface. It exists to demonstrate (and test) that the measurement path
+genuinely crosses a process-style boundary — the defining property of
+the PCP approach — without requiring multiple OS processes.
+
+Encoding: one JSON object per line, ``{"type": <RequestClass>,
+**fields}`` → ``{"type": <ResponseClass>, **fields}``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from ..errors import PCPError
+from . import protocol
+from .pmcd import PMCD
+
+_REQUEST_TYPES = {
+    "LookupRequest": protocol.LookupRequest,
+    "FetchRequest": protocol.FetchRequest,
+    "ChildrenRequest": protocol.ChildrenRequest,
+}
+
+
+def encode_request(request) -> bytes:
+    name = type(request).__name__
+    if name not in _REQUEST_TYPES:
+        raise PCPError(f"cannot encode request type {name}")
+    payload = {"type": name}
+    payload.update(_dataclass_fields(request))
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes):
+    data = json.loads(line.decode("utf-8"))
+    cls = _REQUEST_TYPES.get(data.pop("type", None))
+    if cls is None:
+        raise PCPError(f"unknown request in PDU: {data}")
+    if "names" in data:
+        data["names"] = tuple(data["names"])
+    if "pmids" in data:
+        data["pmids"] = tuple(data["pmids"])
+    return cls(**data)
+
+
+def encode_response(response) -> bytes:
+    name = type(response).__name__
+    payload = {"type": name}
+    payload.update(_dataclass_fields(response))
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode_response(line: bytes):
+    data = json.loads(line.decode("utf-8"))
+    name = data.pop("type", None)
+    if name == "LookupResponse":
+        return protocol.LookupResponse(
+            status=protocol.PCPStatus(data["status"]),
+            pmids=tuple(data["pmids"]),
+            name_status=tuple(protocol.PCPStatus(s)
+                              for s in data["name_status"]),
+        )
+    if name == "FetchResponse":
+        return protocol.FetchResponse(
+            status=protocol.PCPStatus(data["status"]),
+            timestamp=data["timestamp"],
+            metrics=tuple(
+                protocol.MetricValues(pmid=m["pmid"], values=m["values"])
+                for m in data["metrics"]
+            ),
+        )
+    if name == "ChildrenResponse":
+        return protocol.ChildrenResponse(
+            status=protocol.PCPStatus(data["status"]),
+            children=tuple(data["children"]),
+            leaf_flags=tuple(data["leaf_flags"]),
+        )
+    if name == "ErrorResponse":
+        return protocol.ErrorResponse(
+            status=protocol.PCPStatus(data["status"]),
+            detail=data.get("detail", ""),
+        )
+    raise PCPError(f"unknown response in PDU: {name}")
+
+
+def _jsonable(value):
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return _dataclass_fields(value)
+    return value
+
+
+def _dataclass_fields(obj) -> dict:
+    return {key: _jsonable(value) for key, value in obj.__dict__.items()}
+
+
+class PMCDServer:
+    """Serves one PMCD instance over TCP (threaded, loopback)."""
+
+    def __init__(self, pmcd: PMCD, host: str = "127.0.0.1", port: int = 0):
+        self.pmcd = pmcd
+        handler_pmcd = pmcd
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                for line in self.rfile:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        request = decode_request(line)
+                        response = handler_pmcd.handle(request)
+                    except Exception as exc:  # malformed PDU
+                        response = protocol.ErrorResponse(
+                            protocol.PCPStatus.PM_ERR_PMID, str(exc))
+                    self.wfile.write(encode_response(response))
+                    self.wfile.flush()
+
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address
+
+    def start(self) -> "PMCDServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+class RemotePMCD:
+    """Client-side stand-in for a PMCD reached over TCP.
+
+    Duck-types the surface :class:`~repro.pcp.client.PmapiContext`
+    uses (``handle``, ``pmns``, ``round_trip_seconds``), so the whole
+    PAPI PCP component works unchanged across the socket. ``pmns``
+    access is served by traversing the remote namespace once via
+    ChildrenRequest PDUs.
+    """
+
+    def __init__(self, host: str, port: int,
+                 round_trip_seconds: float = PMCD.DEFAULT_ROUND_TRIP,
+                 timeout: float = 10.0):
+        self.round_trip_seconds = round_trip_seconds
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._pmns = None
+
+    # ------------------------------------------------------------------
+    def handle(self, request):
+        with self._lock:
+            self._sock.sendall(encode_request(request))
+            line = self._rfile.readline()
+        if not line:
+            raise PCPError("connection to pmcd lost")
+        return decode_response(line)
+
+    @property
+    def pmns(self):
+        if self._pmns is None:
+            self._pmns = _RemotePMNS(self)
+        return self._pmns
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+
+class _RemotePMNS:
+    """Remote PMNS traversal via ChildrenRequest PDUs."""
+
+    def __init__(self, remote: RemotePMCD):
+        self._remote = remote
+
+    def traverse(self, prefix: str = ""):
+        response = self._remote.handle(
+            protocol.ChildrenRequest(prefix=prefix))
+        if response.status != protocol.PCPStatus.OK:
+            raise PCPError(f"unknown PMNS prefix {prefix!r}")
+        for child, leaf in zip(response.children, response.leaf_flags):
+            path = f"{prefix}.{child}" if prefix else child
+            if leaf:
+                yield path
+            else:
+                yield from self.traverse(path)

@@ -1,0 +1,37 @@
+"""Nest PMU event tables and the privileged perf_uncore access path."""
+
+from .events import (
+    SMT_PER_CORE,
+    all_pcp_events,
+    all_uncore_events,
+    pcp_event_name,
+    pcp_metric_name,
+    socket_instance_cpu,
+    socket_of_cpu,
+    uncore_event_name,
+    uncore_pmu_name,
+)
+from .perf import (
+    PerfUncoreHandle,
+    UncoreEventSpec,
+    open_uncore_event,
+    parse_uncore_event,
+    read_socket_traffic,
+)
+
+__all__ = [
+    "PerfUncoreHandle",
+    "SMT_PER_CORE",
+    "UncoreEventSpec",
+    "all_pcp_events",
+    "all_uncore_events",
+    "open_uncore_event",
+    "parse_uncore_event",
+    "pcp_event_name",
+    "pcp_metric_name",
+    "read_socket_traffic",
+    "socket_instance_cpu",
+    "socket_of_cpu",
+    "uncore_event_name",
+    "uncore_pmu_name",
+]

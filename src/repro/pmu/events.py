@@ -1,0 +1,92 @@
+"""Event-name tables for the POWER9 nest PMUs.
+
+Two naming schemes appear in the paper's Table I:
+
+* **Direct (Tellico)** — perf_event_uncore style, one PMU per memory
+  channel: ``power9_nest_mba{ch}::PM_MBA{ch}_{READ,WRITE}_BYTES:cpu=0``.
+  The ``cpu=`` qualifier selects which socket's nest is read (any CPU
+  belonging to that socket works; the kernel routes to the right nest).
+* **PCP (Summit)** — the perfevent PMDA exports the same counters as
+  PCP metrics: ``perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_
+  {READ,WRITE}_BYTES.value`` with one instance per CPU; the per-socket
+  values appear on the *last hardware thread of each socket* (cpu87 and
+  cpu175 on Summit's SMT4 22-core sockets).
+
+This module is the single source of truth for those spellings; the
+perf_event_uncore component, the perfevent PMDA and Table I's
+reproduction all derive from it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..machine.config import MachineConfig
+
+#: POWER9 runs 4 hardware threads per core (SMT4).
+SMT_PER_CORE = 4
+
+
+def uncore_pmu_name(channel: int) -> str:
+    """perf_event_uncore PMU name for nest memory channel ``channel``."""
+    return f"power9_nest_mba{channel}"
+
+
+def uncore_event_name(channel: int, write: bool, cpu: int = 0) -> str:
+    """Fully-qualified perf_event_uncore event name (Tellico style)."""
+    direction = "WRITE" if write else "READ"
+    return (f"{uncore_pmu_name(channel)}::PM_MBA{channel}_{direction}"
+            f"_BYTES:cpu={cpu}")
+
+
+def pcp_metric_name(channel: int, write: bool) -> str:
+    """PCP metric name exported by the perfevent PMDA."""
+    direction = "WRITE" if write else "READ"
+    return (f"perfevent.hwcounters.nest_mba{channel}_imc."
+            f"PM_MBA{channel}_{direction}_BYTES.value")
+
+
+def pcp_event_name(channel: int, write: bool, cpu: int) -> str:
+    """Fully-qualified PAPI PCP component event name (Summit style)."""
+    return f"pcp:::{pcp_metric_name(channel, write)}:cpu{cpu}"
+
+
+def socket_instance_cpu(machine: MachineConfig, socket_id: int) -> int:
+    """The CPU instance carrying socket ``socket_id``'s nest values.
+
+    The perfevent PMDA attaches each socket's nest counters to the last
+    hardware thread of that socket — cpu87/cpu175 on Summit.
+    """
+    threads_per_socket = machine.socket.n_cores * SMT_PER_CORE
+    return (socket_id + 1) * threads_per_socket - 1
+
+
+def socket_of_cpu(machine: MachineConfig, cpu: int) -> int:
+    """Inverse mapping: which socket does hardware thread ``cpu`` sit on."""
+    threads_per_socket = machine.socket.n_cores * SMT_PER_CORE
+    socket_id = cpu // threads_per_socket
+    if not 0 <= socket_id < machine.n_sockets:
+        raise ValueError(
+            f"cpu {cpu} outside node with "
+            f"{machine.n_sockets * threads_per_socket} hardware threads"
+        )
+    return socket_id
+
+
+def all_uncore_events(machine: MachineConfig, cpu: int = 0) -> List[str]:
+    """All nest memory-traffic events in direct perf_uncore spelling."""
+    names = []
+    for ch in range(machine.socket.n_memory_channels):
+        names.append(uncore_event_name(ch, write=False, cpu=cpu))
+        names.append(uncore_event_name(ch, write=True, cpu=cpu))
+    return names
+
+
+def all_pcp_events(machine: MachineConfig, socket_id: int) -> List[str]:
+    """All nest memory-traffic events in PCP spelling for one socket."""
+    cpu = socket_instance_cpu(machine, socket_id)
+    names = []
+    for ch in range(machine.socket.n_memory_channels):
+        names.append(pcp_event_name(ch, write=False, cpu=cpu))
+        names.append(pcp_event_name(ch, write=True, cpu=cpu))
+    return names

@@ -1,0 +1,27 @@
+"""Quantum Monte Carlo miniapp (QMCPACK stand-in): exactly-solvable
+model systems, vectorised VMC (no-drift and drift movers), DMC with
+branching and population control, and the instrumented three-phase
+cluster application behind Fig 12."""
+
+from .app import DEFAULT_PLAN, QMCPACKApp, QMCPhasePlan
+from .blocking import BlockingResult, autocorrelated_series, blocking_analysis
+from .dmc import DMC, DMCBlockStats
+from .vmc import VMC, BlockStats, mean_energy
+from .wavefunction import HarmonicOscillator, HydrogenAtom, TrialWavefunction
+
+__all__ = [
+    "BlockStats",
+    "BlockingResult",
+    "autocorrelated_series",
+    "blocking_analysis",
+    "DEFAULT_PLAN",
+    "DMC",
+    "DMCBlockStats",
+    "HarmonicOscillator",
+    "HydrogenAtom",
+    "QMCPACKApp",
+    "QMCPhasePlan",
+    "TrialWavefunction",
+    "VMC",
+    "mean_energy",
+]

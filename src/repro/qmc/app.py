@@ -1,0 +1,169 @@
+"""QMCPACK-style miniapp: VMC (no drift) → VMC (drift) → DMC on the
+simulated cluster.
+
+"The example problem used in our QMCPACK experiment (on Summit)
+executes the Variational Monte Carlo (VMC) method with no drift, then
+the VMC method with drift, and finally, a Diffusion Monte Carlo (DMC)
+method. Figure 12 demonstrates that the different stages in the
+execution of QMCPACK are distinguishable by monitoring separate
+hardware components simultaneously."
+
+The miniapp runs *real* samplers (:class:`~repro.qmc.vmc.VMC`,
+:class:`~repro.qmc.dmc.DMC`) at a tractable walker count and scales
+their per-block behaviour — sweep counts, acceptance, DMC population
+fluctuations and the walker-exchange plan — onto a notional production
+ensemble per rank. Hardware signatures per phase:
+
+* **vmc-nodrift** — walker-sweep memory traffic, moderate GPU bursts
+  (one ψ evaluation per move), negligible network;
+* **vmc-drift** — ~2.5× the GPU work (ψ, ∇ψ and Green's-function
+  factors per move) → longer/denser power spikes, more host traffic;
+* **dmc** — population-dependent traffic, branching, *and* walker
+  exchanges between ranks → the network activity unique to this phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..machine.config import SUMMIT, MachineConfig
+from ..measure.timeline import Step
+from ..mpi.comm import Cluster, SimComm
+from ..noise import NoiseConfig
+from .dmc import DMC
+from .vmc import VMC
+from .wavefunction import HarmonicOscillator, TrialWavefunction
+
+#: Bytes per walker shuttled to/from the GPU (3 coords + ψ bookkeeping).
+WALKER_BYTES = 48
+#: Arithmetic cost of one walker move on the GPU, by phase. QMCPACK
+#: evaluates B-spline orbitals and determinant updates per move —
+#: tens of kiloflops per electron move — so the GPU phases dominate
+#: the block time (the power plateaus of Fig 12).
+FLOPS_PER_MOVE = {"vmc-nodrift": 60e3, "vmc-drift": 150e3, "dmc": 170e3}
+#: GPU busy power by phase (drift/DMC run denser kernels).
+PHASE_POWER_W = {"vmc-nodrift": 190.0, "vmc-drift": 265.0, "dmc": 295.0}
+#: Host memory accesses per walker per sweep (positions, energies,
+#: acceptance bookkeeping), read:write split handled below.
+SWEEP_BYTES_PER_WALKER = {"vmc-nodrift": 120, "vmc-drift": 200, "dmc": 260}
+
+
+@dataclasses.dataclass(frozen=True)
+class QMCPhasePlan:
+    """One phase of the example problem."""
+
+    name: str
+    blocks: int
+    steps_per_block: int
+
+
+DEFAULT_PLAN = [
+    QMCPhasePlan("vmc-nodrift", blocks=6, steps_per_block=10),
+    QMCPhasePlan("vmc-drift", blocks=6, steps_per_block=10),
+    QMCPhasePlan("dmc", blocks=8, steps_per_block=10),
+]
+
+
+class QMCPACKApp:
+    """The instrumented three-phase QMC run."""
+
+    def __init__(self, machine: MachineConfig = SUMMIT, n_nodes: int = 1,
+                 psi: Optional[TrialWavefunction] = None,
+                 sample_walkers: int = 256, hw_walkers_per_rank: int = 262144,
+                 seed: Optional[int] = None,
+                 noise: Optional[NoiseConfig] = None,
+                 plan: Optional[List[QMCPhasePlan]] = None):
+        if sample_walkers <= 0 or hw_walkers_per_rank <= 0:
+            raise ConfigurationError("walker counts must be positive")
+        self.psi = psi or HarmonicOscillator(alpha=1.15)
+        self.cluster = Cluster(machine, n_nodes, seed=seed, noise=noise)
+        self.comm = SimComm(self.cluster)
+        self.sample_walkers = sample_walkers
+        self.hw_walkers = hw_walkers_per_rank
+        self.seed = seed
+        self.plan = list(plan) if plan is not None else list(DEFAULT_PLAN)
+        self._vmc_nodrift = VMC(self.psi, sample_walkers, drift=False,
+                                seed=seed)
+        self._vmc_drift = VMC(self.psi, sample_walkers, drift=True, seed=seed)
+        self._dmc = DMC(self.psi, sample_walkers, timestep=0.02, seed=seed)
+        #: Physics results per phase (validated in tests/examples).
+        self.results = {"vmc-nodrift": [], "vmc-drift": [], "dmc": []}
+
+    # ------------------------------------------------------------------
+    def _scale(self) -> float:
+        """Production-to-sample walker ratio."""
+        return self.hw_walkers / self.sample_walkers
+
+    def _run_block(self, phase: QMCPhasePlan) -> None:
+        """Run one sampler block and mirror it onto the hardware."""
+        name = phase.name
+        steps = phase.steps_per_block
+        if name == "vmc-nodrift":
+            stats = self._vmc_nodrift.block(steps)
+            population = self.sample_walkers
+        elif name == "vmc-drift":
+            stats = self._vmc_drift.block(steps)
+            population = self.sample_walkers
+        elif name == "dmc":
+            stats = self._dmc.block(steps)
+            population = stats.population
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown phase {name}")
+        self.results[name].append(stats)
+        hw_pop = int(population * self._scale())
+        self._account_block(name, steps, hw_pop)
+        if name == "dmc" and self.comm.size > 1:
+            self._exchange_walkers()
+
+    # ------------------------------------------------------------------
+    def _account_block(self, name: str, steps: int, hw_pop: int) -> None:
+        sweep_bytes = SWEEP_BYTES_PER_WALKER[name] * hw_pop * steps
+        gpu_flops = FLOPS_PER_MOVE[name] * hw_pop * steps
+        dma_bytes = WALKER_BYTES * hw_pop
+        duration = 0.0
+        for rank in range(self.comm.size):
+            placement = self.comm.placements[rank]
+            node = self.cluster.nodes[placement.node_index]
+            sock = node.socket(placement.socket_id)
+            # Host-side sweep traffic: ~60% reads, 40% writes.
+            sock.record_traffic(read_bytes=int(0.6 * sweep_bytes),
+                                write_bytes=int(0.4 * sweep_bytes))
+            gpus = node.gpus_on_socket(placement.socket_id)
+            rank_time = sweep_bytes / sock.config.memory_bandwidth
+            if gpus:
+                gpu = gpus[0]
+                rank_time += gpu.h2d(dma_bytes, advance_clock=False)
+                rank_time += gpu.execute(gpu_flops,
+                                         power_w=PHASE_POWER_W[name],
+                                         advance_clock=False)
+                rank_time += gpu.d2h(dma_bytes, advance_clock=False)
+            duration = max(duration, rank_time)
+        self.cluster.advance_all(duration)
+
+    def _exchange_walkers(self) -> None:
+        """DMC load balancing: ship surplus walkers between ranks."""
+        plan = self._dmc.rebalance_plan(self.comm.size)
+        if not plan:
+            return
+        scale = self._scale()
+        n = self.comm.size
+        sizes = [[0] * n for _ in range(n)]
+        for src, dst, count in plan:
+            sizes[src][dst] += int(count * scale) * WALKER_BYTES
+        self.comm._account_exchange(sizes, list(range(n)))
+
+    # ------------------------------------------------------------------
+    def steps(self) -> List[Step]:
+        """The full example problem as profiler steps (one per block)."""
+        out: List[Step] = []
+        for phase in self.plan:
+            for _ in range(phase.blocks):
+                out.append(Step(phase.name,
+                                lambda p=phase: self._run_block(p)))
+        return out
+
+    def run(self) -> None:
+        for step in self.steps():
+            step.run()

@@ -1,0 +1,107 @@
+"""Blocking analysis (Flyvbjerg–Petersen) for correlated MC series.
+
+Monte Carlo samples within a walker's trajectory are serially
+correlated, so the naive standard error ``σ/√N`` underestimates the
+true uncertainty. The blocking transform repeatedly averages adjacent
+pairs; the apparent standard error grows until blocks exceed the
+correlation time and then plateaus — the plateau value is the honest
+error bar. QMCPACK reports exactly this statistic per block; the
+miniapp uses it to attach defensible error bars to its energies.
+
+Reference: H. Flyvbjerg & H. G. Petersen, "Error estimates on averages
+of correlated data", J. Chem. Phys. 91, 461 (1989).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockingLevel:
+    """One level of the blocking transform."""
+
+    level: int
+    n_blocks: int
+    std_error: float
+    #: Error of the error estimate (√(2/(n-1)) relative).
+    error_of_error: float
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockingResult:
+    """Full blocking analysis of one series."""
+
+    mean: float
+    naive_error: float
+    error: float                 # plateau estimate
+    correlation_time: float      # in units of samples
+    levels: List[BlockingLevel]
+
+    @property
+    def inefficiency(self) -> float:
+        """Statistical inefficiency = 2·τ (samples per independent one)."""
+        return max(1.0, (self.error / self.naive_error) ** 2) \
+            if self.naive_error > 0 else 1.0
+
+
+def blocking_analysis(samples: Sequence[float],
+                      min_blocks: int = 8) -> BlockingResult:
+    """Run the full blocking transform on ``samples``.
+
+    The plateau is chosen as the first level whose error estimate is
+    statistically compatible with the next level's (within their error
+    bars), falling back to the largest-error level when no plateau is
+    reached (too-short series — the error is then a lower bound).
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2 * min_blocks:
+        raise ConfigurationError(
+            f"blocking needs >= {2 * min_blocks} samples, got {data.size}")
+    mean = float(data.mean())
+    naive = float(data.std(ddof=1) / math.sqrt(data.size))
+    levels: List[BlockingLevel] = []
+    x = data
+    level = 0
+    while x.size >= min_blocks:
+        n = x.size
+        se = float(x.std(ddof=1) / math.sqrt(n))
+        eoe = se / math.sqrt(2.0 * (n - 1))
+        levels.append(BlockingLevel(level=level, n_blocks=n,
+                                    std_error=se, error_of_error=eoe))
+        if x.size % 2:
+            x = x[:-1]
+        x = 0.5 * (x[0::2] + x[1::2])
+        level += 1
+    error = _plateau(levels)
+    tau = 0.5 * (error / naive) ** 2 if naive > 0 else 0.5
+    return BlockingResult(mean=mean, naive_error=naive, error=error,
+                          correlation_time=tau, levels=levels)
+
+
+def _plateau(levels: List[BlockingLevel]) -> float:
+    for current, nxt in zip(levels, levels[1:]):
+        gap = abs(nxt.std_error - current.std_error)
+        if gap <= nxt.error_of_error + current.error_of_error:
+            return current.std_error
+    return max(lvl.std_error for lvl in levels)
+
+
+def autocorrelated_series(n: int, tau: float,
+                          rng: np.random.Generator) -> np.ndarray:
+    """AR(1) series with correlation time ``tau`` (test/demo helper)."""
+    if tau <= 0:
+        raise ConfigurationError("tau must be positive")
+    phi = math.exp(-1.0 / tau)
+    noise = rng.standard_normal(n) * math.sqrt(1.0 - phi * phi)
+    out = np.empty(n)
+    out[0] = rng.standard_normal()
+    for i in range(1, n):
+        out[i] = phi * out[i - 1] + noise[i]
+    return out

@@ -1,0 +1,120 @@
+"""Model systems and trial wavefunctions for the QMC miniapp.
+
+QMCPACK itself solves many-body Schrödinger equations; for the
+reproduction we need a *real* Quantum Monte Carlo code whose phase
+structure (VMC without drift → VMC with drift → DMC) drives the
+simulated hardware the way Fig 12 shows. Two exactly-solvable systems
+keep the physics verifiable:
+
+* 3-D isotropic harmonic oscillator (ħ = m = ω = 1): trial
+  ψ_α(r) = exp(−α r² / 2); local energy
+  E_L(r) = 3α/2 + (1 − α²) r² / 2; ⟨E⟩(α) = 3(α + 1/α)/4,
+  exact ground state at α = 1 with E₀ = 3/2 (zero variance).
+* Hydrogen atom (atomic units): trial ψ_β(r) = exp(−β r); local energy
+  E_L(r) = −β²/2 + (β − 1)/r; ⟨E⟩(β) = β²/2 − β,
+  exact at β = 1 with E₀ = −1/2.
+
+Both expose the quantities every sampler needs: log|ψ|, the drift
+velocity ∇ln|ψ|, and E_L — all vectorised over walker ensembles of
+shape (nwalkers, 3).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class TrialWavefunction(abc.ABC):
+    """Interface used by the VMC and DMC samplers."""
+
+    #: Spatial dimensionality of one walker.
+    ndim: int = 3
+    #: Exact ground-state energy of the underlying Hamiltonian.
+    exact_energy: float = 0.0
+
+    @abc.abstractmethod
+    def log_psi(self, r: np.ndarray) -> np.ndarray:
+        """ln |ψ(r)| for walkers ``r`` of shape (n, ndim)."""
+
+    @abc.abstractmethod
+    def drift(self, r: np.ndarray) -> np.ndarray:
+        """Drift velocity ∇ ln |ψ| (n, ndim)."""
+
+    @abc.abstractmethod
+    def local_energy(self, r: np.ndarray) -> np.ndarray:
+        """E_L(r) = (Hψ)(r) / ψ(r) for each walker."""
+
+    @abc.abstractmethod
+    def variational_energy(self) -> float:
+        """Analytic ⟨E_L⟩ under |ψ|² (for validation)."""
+
+    def initial_walkers(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """A reasonable starting ensemble."""
+        return rng.standard_normal((n, self.ndim))
+
+
+@dataclasses.dataclass
+class HarmonicOscillator(TrialWavefunction):
+    """ψ_α(r) = exp(−α r²/2) for H = −∇²/2 + r²/2."""
+
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        self.exact_energy = 1.5
+
+    def log_psi(self, r: np.ndarray) -> np.ndarray:
+        return -0.5 * self.alpha * np.sum(r * r, axis=1)
+
+    def drift(self, r: np.ndarray) -> np.ndarray:
+        return -self.alpha * r
+
+    def local_energy(self, r: np.ndarray) -> np.ndarray:
+        r2 = np.sum(r * r, axis=1)
+        return 1.5 * self.alpha + 0.5 * (1.0 - self.alpha ** 2) * r2
+
+    def variational_energy(self) -> float:
+        return 0.75 * (self.alpha + 1.0 / self.alpha)
+
+
+@dataclasses.dataclass
+class HydrogenAtom(TrialWavefunction):
+    """ψ_β(r) = exp(−β r) for H = −∇²/2 − 1/r (atomic units)."""
+
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ConfigurationError("beta must be positive")
+        self.exact_energy = -0.5
+
+    @staticmethod
+    def _radii(r: np.ndarray) -> np.ndarray:
+        return np.maximum(np.sqrt(np.sum(r * r, axis=1)), 1e-12)
+
+    def log_psi(self, r: np.ndarray) -> np.ndarray:
+        return -self.beta * self._radii(r)
+
+    def drift(self, r: np.ndarray) -> np.ndarray:
+        radii = self._radii(r)[:, None]
+        return -self.beta * r / radii
+
+    def local_energy(self, r: np.ndarray) -> np.ndarray:
+        radii = self._radii(r)
+        return -0.5 * self.beta ** 2 + (self.beta - 1.0) / radii
+
+    def variational_energy(self) -> float:
+        return 0.5 * self.beta ** 2 - self.beta
+
+    def initial_walkers(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # Sample roughly from the exponential density to avoid r ≈ 0.
+        radii = rng.gamma(shape=3.0, scale=0.5 / self.beta, size=n)
+        direction = rng.standard_normal((n, self.ndim))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        return radii[:, None] * direction

@@ -1,0 +1,73 @@
+"""Byte-size units and memory-transaction arithmetic helpers.
+
+The paper reports memory traffic in bytes measured by the nest MBA
+counters, which count 64-byte memory transactions ("the capability to
+fetch only 64 bytes of data (half cache lines)" — POWER9 User's Manual).
+These helpers centralise the rounding rules so that expectations and
+simulated counters agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size of one double-precision floating point element in bytes.
+DOUBLE = 8
+#: Size of one double-complex element in bytes.
+DOUBLE_COMPLEX = 16
+
+#: POWER9 L3 cache line size in bytes.
+POWER9_LINE = 128
+#: POWER9 memory transaction granule (half cache line) in bytes.
+POWER9_GRANULE = 64
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(nbytes: int, granule: int = POWER9_GRANULE) -> int:
+    """Round ``nbytes`` up to a whole number of memory granules."""
+    return ceil_div(nbytes, granule) * granule
+
+
+def transactions(nbytes: int, granule: int = POWER9_GRANULE) -> int:
+    """Number of ``granule``-byte memory transactions covering ``nbytes``."""
+    return ceil_div(nbytes, granule)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (e.g. ``'5.00 MiB'``) for reports."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'5MiB'``/``'64'``/``'2 KiB'`` style sizes into bytes."""
+    s = text.strip().replace(" ", "")
+    multipliers = {
+        "B": 1,
+        "KIB": KIB,
+        "KB": 1000,
+        "MIB": MIB,
+        "MB": 1000 * 1000,
+        "GIB": GIB,
+        "GB": 1000 ** 3,
+    }
+    upper = s.upper()
+    for suffix, mult in sorted(multipliers.items(), key=lambda kv: -len(kv[0])):
+        if upper.endswith(suffix):
+            number = upper[: -len(suffix)]
+            return int(float(number) * mult)
+    return int(float(upper))

@@ -1,0 +1,54 @@
+"""Shared fixtures: simulated nodes, PAPI instances, quiet sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import SUMMIT, TELLICO, Node
+from repro.measure.session import MeasurementSession
+from repro.noise import QUIET
+from repro.papi import library_init
+from repro.pcp import start_pmcd_for_node
+
+
+@pytest.fixture
+def summit_node():
+    return Node(SUMMIT, seed=1234)
+
+
+@pytest.fixture
+def tellico_node():
+    return Node(TELLICO, seed=1234)
+
+
+@pytest.fixture
+def summit_papi(summit_node):
+    return library_init(summit_node, pmcd=start_pmcd_for_node(summit_node))
+
+
+@pytest.fixture
+def tellico_papi(tellico_node):
+    return library_init(tellico_node, pmcd=start_pmcd_for_node(tellico_node))
+
+
+@pytest.fixture
+def quiet_summit_node():
+    return Node(SUMMIT, seed=1234, noise=QUIET)
+
+
+@pytest.fixture
+def quiet_summit_papi(quiet_summit_node):
+    return library_init(quiet_summit_node,
+                        pmcd=start_pmcd_for_node(quiet_summit_node))
+
+
+@pytest.fixture
+def quiet_summit_session():
+    """Summit session with every noise mechanism disabled."""
+    return MeasurementSession("summit", via="pcp", seed=1, noise=QUIET)
+
+
+@pytest.fixture
+def quiet_tellico_session():
+    return MeasurementSession("tellico", via="perf_event_uncore", seed=1,
+                              noise=QUIET)

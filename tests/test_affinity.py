@@ -1,0 +1,84 @@
+"""Thread pinning policies (one-per-core / compact / scatter)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.affinity import (
+    cores_per_socket,
+    hw_thread_of,
+    pin_threads,
+)
+from repro.machine.config import SUMMIT
+
+
+class TestHwThreadMapping:
+    def test_smt4_numbering(self):
+        assert hw_thread_of(SUMMIT, 0, 0) == 0
+        assert hw_thread_of(SUMMIT, 0, 3) == 3
+        assert hw_thread_of(SUMMIT, 1, 0) == 4
+        assert hw_thread_of(SUMMIT, 21, 3) == 87  # last slot of socket 0
+
+    def test_slot_range(self):
+        with pytest.raises(ConfigurationError):
+            hw_thread_of(SUMMIT, 0, 4)
+
+
+class TestOnePerCore:
+    def test_paper_setting(self, summit_node):
+        bindings = pin_threads(summit_node, 21, policy="one-per-core")
+        assert len(bindings) == 21
+        # One thread per distinct physical core, first SMT slot only.
+        assert len({b.core_id for b in bindings}) == 21
+        assert all(b.hw_thread == b.core_id * 4 for b in bindings)
+        # All on socket 0 (fills socket-by-socket).
+        assert all(b.socket_id == 0 for b in bindings)
+
+    def test_spills_to_second_socket(self, summit_node):
+        bindings = pin_threads(summit_node, 42)
+        assert sum(1 for b in bindings if b.socket_id == 1) == 21
+
+    def test_reserved_core_never_used(self, summit_node):
+        bindings = pin_threads(summit_node, 42)
+        reserved_ids = {c.core_id for s in summit_node.sockets
+                        for c in s.cores if c.reserved}
+        assert not ({b.core_id for b in bindings} & reserved_ids)
+
+    def test_capacity_limit(self, summit_node):
+        with pytest.raises(ConfigurationError):
+            pin_threads(summit_node, 43)
+
+
+class TestCompact:
+    def test_fills_smt_slots_first(self, summit_node):
+        bindings = pin_threads(summit_node, 8, policy="compact")
+        # 8 threads -> 2 physical cores, 4 SMT slots each.
+        assert len({b.core_id for b in bindings}) == 2
+        slots = [b.hw_thread % 4 for b in bindings[:4]]
+        assert slots == [0, 1, 2, 3]
+
+    def test_capacity_is_4x(self, summit_node):
+        bindings = pin_threads(summit_node, 42 * 4, policy="compact")
+        assert len(bindings) == 168
+        with pytest.raises(ConfigurationError):
+            pin_threads(summit_node, 42 * 4 + 1, policy="compact")
+
+
+class TestScatter:
+    def test_alternates_sockets(self, summit_node):
+        bindings = pin_threads(summit_node, 4, policy="scatter")
+        assert [b.socket_id for b in bindings] == [0, 1, 0, 1]
+
+    def test_balances_bandwidth_domains(self, summit_node):
+        bindings = pin_threads(summit_node, 10, policy="scatter")
+        per_socket = cores_per_socket(bindings)
+        assert per_socket == {0: 5, 1: 5}
+
+
+class TestValidation:
+    def test_unknown_policy(self, summit_node):
+        with pytest.raises(ConfigurationError):
+            pin_threads(summit_node, 2, policy="random")
+
+    def test_zero_threads(self, summit_node):
+        with pytest.raises(ConfigurationError):
+            pin_threads(summit_node, 0)

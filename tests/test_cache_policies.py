@@ -1,0 +1,91 @@
+"""Replacement policies (LRU vs FIFO) and PAPI_accum semantics."""
+
+import pytest
+
+from repro.errors import PapiInvalidArgument, SimulationError
+from repro.machine.cache import CacheSim
+from repro.machine.config import CacheConfig
+
+
+def cache(policy, capacity=1024, assoc=2, line=128):
+    return CacheSim(CacheConfig(capacity_bytes=capacity, line_bytes=line,
+                                granule_bytes=64, associativity=assoc),
+                    policy=policy)
+
+
+class TestReplacementPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            cache("random")
+
+    def test_lru_retains_re_touched_line(self):
+        c = cache("lru")  # 4 sets x 2 ways
+        stride = 4 * 128  # same-set stride
+        a, b, d = 0, stride, 2 * stride
+        c.access(a, 8, False)
+        c.access(b, 8, False)
+        c.access(a, 8, False)   # refresh a
+        c.access(d, 8, False)   # evicts b under LRU
+        c.access(a, 8, False)   # hit
+        assert c.traffic.read_bytes == 3 * 64
+
+    def test_fifo_evicts_oldest_despite_re_touch(self):
+        c = cache("fifo")
+        stride = 4 * 128
+        a, b, d = 0, stride, 2 * stride
+        c.access(a, 8, False)
+        c.access(b, 8, False)
+        c.access(a, 8, False)   # does NOT refresh under FIFO
+        c.access(d, 8, False)   # evicts a (oldest insertion)
+        c.access(a, 8, False)   # miss again
+        assert c.traffic.read_bytes == 4 * 64
+
+    def test_policies_agree_on_streaming(self):
+        # No reuse -> replacement policy is irrelevant.
+        for policy in CacheSim.POLICIES:
+            c = cache(policy, capacity=2048)
+            c.touch_array(0, 1024, 8, 8, is_write=False)
+            assert c.traffic.read_bytes == 1024 * 8
+
+    def test_lru_never_worse_on_lru_friendly_pattern(self):
+        # Cyclic reuse within capacity: LRU keeps everything, FIFO too.
+        for policy in ("lru", "fifo"):
+            c = cache(policy, capacity=4096, assoc=4)
+            for _ in range(5):
+                c.touch_array(0, 32, 8, 64, is_write=False)
+            assert c.traffic.read_bytes == 32 * 64, policy
+
+
+class TestAccum:
+    PCP_READ = ("pcp:::perfevent.hwcounters.nest_mba0_imc."
+                "PM_MBA0_READ_BYTES.value:cpu87")
+
+    def test_accum_adds_and_resets(self, quiet_summit_papi,
+                                   quiet_summit_node):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event(self.PCP_READ)
+        es.start()
+        totals = [0]
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64)
+        es.accum(totals)
+        assert totals == [64]
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64 * 2)
+        es.accum(totals)
+        assert totals == [64 + 128]
+        # accum resets the baseline: stop() sees only post-accum counts.
+        assert es.stop() == [0]
+
+    def test_accum_buffer_length_checked(self, quiet_summit_papi):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event(self.PCP_READ)
+        es.start()
+        with pytest.raises(PapiInvalidArgument):
+            es.accum([0, 0])
+
+    def test_accum_requires_running(self, quiet_summit_papi):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event(self.PCP_READ)
+        from repro.errors import PapiNotRunning
+
+        with pytest.raises(PapiNotRunning):
+            es.accum([0])

@@ -1,0 +1,89 @@
+"""Counter Analysis Toolkit: validation classifications."""
+
+import pytest
+
+from repro.cat import Classification, CounterAnalysisToolkit
+from repro.errors import ConfigurationError
+from repro.kernels.stream import StreamKernel
+from repro.measure.session import MeasurementSession
+from repro.noise import QUIET
+
+
+@pytest.fixture(scope="module")
+def quiet_report():
+    session = MeasurementSession("summit", seed=3, noise=QUIET)
+    return CounterAnalysisToolkit(session).run_suite()
+
+
+class TestQuietSystem:
+    def test_all_nest_events_validated(self, quiet_report):
+        assert len(quiet_report.events(Classification.VALIDATED)) == 16
+        assert quiet_report.events(Classification.UNRELIABLE) == []
+        assert quiet_report.events(Classification.DEAD) == []
+
+    def test_report_renders(self, quiet_report):
+        text = quiet_report.render()
+        assert "PM_MBA0_READ_BYTES" in text
+        assert "validated" in text
+
+    def test_probe_errors_tiny(self, quiet_report):
+        assert max(r.relative_error for r in quiet_report.results) < 0.02
+
+
+class TestNoisySystem:
+    def test_events_noisy_but_not_unreliable(self):
+        session = MeasurementSession("tellico", seed=3)
+        report = CounterAnalysisToolkit(session).run_suite()
+        assert report.events(Classification.UNRELIABLE) == []
+        assert report.events(Classification.DEAD) == []
+        noisy = report.events(Classification.NOISY)
+        validated = report.events(Classification.VALIDATED)
+        assert len(noisy) + len(validated) == 16
+        assert noisy  # realistic noise perturbs at least some events
+
+
+class TestDefectDetection:
+    def _session(self):
+        return MeasurementSession("summit", seed=3, noise=QUIET)
+
+    def test_dead_counter_detected(self, monkeypatch):
+        session = self._session()
+        cat = CounterAnalysisToolkit(session)
+        real = cat._measure_per_event
+
+        def lobotomise(probe, events, socket_id, reps):
+            values = real(probe, events, socket_id, reps)
+            dead = [e for e in events if "MBA3_READ" in e][0]
+            values[dead] = 0
+            return values
+
+        monkeypatch.setattr(cat, "_measure_per_event", lobotomise)
+        report = cat.run_suite()
+        assert len(report.events(Classification.DEAD)) == 1
+
+    def test_corrupted_counter_unreliable(self, monkeypatch):
+        session = self._session()
+        cat = CounterAnalysisToolkit(session)
+        real = cat._measure_per_event
+
+        def corrupt(probe, events, socket_id, reps):
+            values = real(probe, events, socket_id, reps)
+            bad = [e for e in events if "MBA5_WRITE" in e][0]
+            values[bad] *= 7  # mis-scaled counter
+            return values
+
+        monkeypatch.setattr(cat, "_measure_per_event", corrupt)
+        report = cat.run_suite()
+        assert len(report.events(Classification.UNRELIABLE)) == 1
+        assert len(report.events(Classification.VALIDATED)) == 15
+
+    def test_custom_probes(self):
+        session = self._session()
+        cat = CounterAnalysisToolkit(session)
+        report = cat.run_suite(probes=[StreamKernel("copy", 1 << 20)])
+        assert len(report.classifications) == 16
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            CounterAnalysisToolkit(self._session(), tolerance=0.9,
+                                   noisy_tolerance=0.5)

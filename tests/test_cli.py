@@ -1,0 +1,41 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig12" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Summit" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["table2", "--seed", "7"]) == 0
+        assert "nvml" in capsys.readouterr().out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["fig99"])
+
+    def test_parser_program_name(self):
+        assert build_parser().prog == "repro-experiments"
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["table1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "table1"
+        assert data["rows"][0][0] == "Summit"
+        assert isinstance(data["headers"], list)

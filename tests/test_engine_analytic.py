@@ -1,0 +1,128 @@
+"""Analytic traffic primitives."""
+
+import pytest
+
+from repro.engine.analytic import (
+    CacheContext,
+    cache_fit_fraction,
+    combine,
+    reused_read,
+    sequential_read,
+    sequential_write,
+    strided_access,
+)
+from repro.machine.cache import TrafficCounters
+from repro.machine.config import CacheConfig
+from repro.machine.store import StorePolicy
+from repro.units import MIB
+
+CTX = CacheContext(capacity_bytes=5 * MIB)
+
+
+class TestSequential:
+    def test_read_rounds_to_granule(self):
+        assert sequential_read(100, CTX).read_bytes == 128
+
+    def test_write_bypass_no_read(self):
+        t = sequential_write(1000, CTX, StorePolicy.BYPASS)
+        assert t.read_bytes == 0
+        assert t.write_bytes == 1024
+
+    def test_write_allocate_reads_per_write(self):
+        t = sequential_write(1000, CTX, StorePolicy.WRITE_ALLOCATE)
+        assert t.read_bytes == t.write_bytes == 1024
+
+
+class TestCacheFitFraction:
+    def test_fits(self):
+        assert cache_fit_fraction(MIB, 5 * MIB) == 1.0
+
+    def test_thrashes(self):
+        assert cache_fit_fraction(50 * MIB, 5 * MIB) == 0.0
+
+    def test_rolloff_monotone(self):
+        vals = [cache_fit_fraction(int(f * 5 * MIB), 5 * MIB)
+                for f in (0.8, 0.9, 1.0, 1.1, 1.2, 1.3)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+        assert vals[0] == 1.0 and vals[-1] == 0.0
+
+    def test_zero_capacity(self):
+        assert cache_fit_fraction(100, 0) == 0.0
+
+
+class TestReusedRead:
+    def test_cached_working_set_reads_once(self):
+        t = reused_read(MIB, passes=10, ctx=CTX)
+        assert t.read_bytes == MIB
+
+    def test_thrashing_working_set_reads_every_pass(self):
+        t = reused_read(50 * MIB, passes=3, ctx=CTX)
+        assert t.read_bytes == 3 * 50 * MIB
+
+    def test_fractional_passes(self):
+        t = reused_read(10 * MIB, passes=2.5, ctx=CTX)
+        assert t.read_bytes == pytest.approx(2.5 * 10 * MIB, rel=0.01)
+
+    def test_spill_adds_gradual_extra(self):
+        spilled = CacheContext(capacity_bytes=110 * MIB,
+                               spill_extra_fraction=0.004)
+        clean = CacheContext(capacity_bytes=110 * MIB)
+        t_spill = reused_read(20 * MIB, passes=100, ctx=spilled)
+        t_clean = reused_read(20 * MIB, passes=100, ctx=clean)
+        assert t_spill.read_bytes > t_clean.read_bytes
+        # Gradual: well under the full re-read cost.
+        assert t_spill.read_bytes < 100 * 20 * MIB
+
+    def test_single_pass_has_no_spill(self):
+        spilled = CacheContext(capacity_bytes=110 * MIB,
+                               spill_extra_fraction=0.004)
+        assert reused_read(20 * MIB, 1, spilled).read_bytes == 20 * MIB
+
+    def test_passes_below_one_clamped(self):
+        assert reused_read(MIB, 0.5, CTX).read_bytes == MIB
+
+
+class TestStridedAccess:
+    def test_cached_stride_costs_footprint(self):
+        t = strided_access(n_accesses=1000, elem_bytes=16, ctx=CTX,
+                           working_set_bytes=1 * MIB,
+                           footprint_bytes=16000)
+        assert t.read_bytes == pytest.approx(16000, abs=64)
+
+    def test_uncached_stride_costs_granule_per_access(self):
+        t = strided_access(n_accesses=1000, elem_bytes=16, ctx=CTX,
+                           working_set_bytes=50 * MIB,
+                           footprint_bytes=16000)
+        assert t.read_bytes == 1000 * 64
+
+    def test_amplification_factor_is_four_for_16b(self):
+        cached = strided_access(1000, 16, CTX, 1 * MIB, 16000)
+        thrash = strided_access(1000, 16, CTX, 50 * MIB, 16000)
+        assert thrash.read_bytes / cached.read_bytes == pytest.approx(
+            4.0, rel=0.01)
+
+    def test_strided_write_allocate(self):
+        t = strided_access(1000, 16, CTX, 1 * MIB, 16000, is_write=True,
+                           policy=StorePolicy.WRITE_ALLOCATE)
+        assert t.read_bytes > 0
+        assert t.write_bytes == pytest.approx(16000, abs=64)
+
+
+class TestCombine:
+    def test_sum(self):
+        out = combine(TrafficCounters(1, 2), TrafficCounters(10, 20))
+        assert (out.read_bytes, out.write_bytes) == (11, 22)
+
+    def test_empty(self):
+        assert combine().total_bytes == 0
+
+
+class TestCacheContextFactory:
+    def test_from_cache_config(self):
+        cfg = CacheConfig(capacity_bytes=10 * MIB)
+        ctx = CacheContext.from_cache_config(cfg, capacity=5 * MIB,
+                                             spill=0.01)
+        assert ctx.capacity_bytes == 5 * MIB
+        assert ctx.granule == 64
+        assert ctx.line_bytes == 128
+        assert ctx.spill_extra_fraction == 0.01

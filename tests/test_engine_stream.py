@@ -1,0 +1,97 @@
+"""Stream declarations, policy resolution, and access interleaving."""
+
+import pytest
+
+from repro.engine.stream import (
+    Access,
+    StreamDecl,
+    interleave,
+    resolve_policies,
+)
+from repro.errors import ConfigurationError
+from repro.machine.prefetch import SoftwarePrefetch
+from repro.machine.store import StorePolicy
+
+
+def decl(name="s", write=False, n=100, elem=8, stride=8, footprint=800,
+         interarrival=1):
+    return StreamDecl(name=name, is_write=write, n_accesses=n,
+                      elem_bytes=elem, stride_bytes=stride,
+                      footprint_bytes=footprint, interarrival=interarrival)
+
+
+class TestStreamDecl:
+    def test_sequential_property(self):
+        assert decl(stride=8).sequential
+        assert decl(stride=-8).sequential
+        assert not decl(stride=800).sequential
+
+    def test_strided_property(self):
+        assert decl(stride=800).strided
+        assert not decl(stride=8).strided
+        assert not decl(stride=0).strided
+
+    def test_volume(self):
+        assert decl(n=10, elem=16).volume_bytes == 160
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            decl(elem=0)
+        with pytest.raises(ConfigurationError):
+            StreamDecl("x", False, -1, 8, 8, 0)
+
+
+class TestResolvePolicies:
+    def test_only_write_streams_get_policies(self):
+        policies = resolve_policies([decl("in"), decl("out", write=True)])
+        assert set(policies) == {"out"}
+
+    def test_pure_copy_bypasses(self):
+        policies = resolve_policies([
+            decl("in"), decl("out", write=True),
+        ])
+        assert policies["out"] is StorePolicy.BYPASS
+
+    def test_strided_load_gates_bypass(self):
+        policies = resolve_policies([
+            decl("tmp", stride=4096),
+            decl("out", write=True),
+        ])
+        assert policies["out"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_strided_store_allocates(self):
+        policies = resolve_policies([
+            decl("in"), decl("out", write=True, stride=4096),
+        ])
+        assert policies["out"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_sparse_store_allocates(self):
+        policies = resolve_policies([
+            decl("in"), decl("y", write=True, interarrival=64),
+        ])
+        assert policies["y"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_dcbtst_prefetch_allocates(self):
+        policies = resolve_policies(
+            [decl("in"), decl("out", write=True)],
+            prefetch=SoftwarePrefetch(dcbt=True, dcbtst=True),
+        )
+        assert policies["out"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_short_streams_do_not_trigger_detector(self):
+        policies = resolve_policies([
+            decl("tmp", stride=4096, n=2),
+            decl("out", write=True),
+        ])
+        assert policies["out"] is StorePolicy.BYPASS
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = iter([Access("a", 0, 8, False), Access("a", 8, 8, False)])
+        b = iter([Access("b", 100, 8, True)])
+        order = [acc.stream for acc in interleave(a, b)]
+        assert order == ["a", "b", "a"]
+
+    def test_empty_iterators(self):
+        assert list(interleave(iter([]), iter([]))) == []

@@ -1,0 +1,74 @@
+"""Every example script runs to completion and prints its key lines."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DENIED" in out           # the privilege gate
+        assert "batching matches" in out
+
+    def test_gemm_noise_and_repetitions(self):
+        out = run_example("gemm_noise_and_repetitions.py")
+        assert "(Fig 2a)" in out and "(Fig 4b)" in out
+        assert "Takeaway" in out
+
+    def test_prefetch_and_store_bypass(self):
+        out = run_example("prefetch_and_store_bypass.py")
+        assert "dcbtst" in out
+        assert "s1cf-ln2" in out
+
+    def test_fft3d_profile_small(self):
+        out = run_example("fft3d_profile.py", "512")
+        assert "rank 0 profile" in out
+        assert "all2all" in out
+        assert "GPU power" in out
+
+    def test_qmcpack_profile(self):
+        out = run_example("qmcpack_profile.py")
+        assert "vmc-nodrift" in out and "dmc" in out
+        assert "exact ground-state energy" in out.lower() or \
+            "exact ground-state energy" in out
+
+    def test_counter_validation(self):
+        out = run_example("counter_validation.py")
+        assert "validated" in out
+        assert "UNRELIABLE" in out  # the deliberately broken counter
+
+    def test_regions_and_archives(self):
+        out = run_example("regions_and_archives.py")
+        assert "Per-region report" in out
+        assert "pmlogger archive" in out
+
+    def test_spectral_turbulence(self):
+        out = run_example("spectral_turbulence.py")
+        assert "diffusion dissipates" in out
+        assert "Hardware profile" in out
+
+    def test_custom_kernel_dsl(self):
+        out = run_example("custom_kernel_dsl.py")
+        assert "DSL-predicted traffic" in out
+        assert "Ground-truth check" in out
+        assert "measured/predicted" in out
+
+    def test_roofline_spmv_vs_gemm(self):
+        out = run_example("roofline_spmv_vs_gemm.py")
+        assert "converged" in out
+        assert "memory" in out and "compute" in out
+        assert "PAPI counters" in out

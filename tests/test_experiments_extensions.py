@@ -1,0 +1,46 @@
+"""Extension experiments (POWER10 projection, grid-shape sweep)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.machine.config import POWER10
+from repro.measure.expectations import gemm_divergence_band
+
+SEED = 20230613
+
+
+class TestPower10:
+    def test_config_sanity(self):
+        assert POWER10.arch == "IBM POWER10"
+        assert POWER10.socket.l3_per_core_bytes == 8 * 1024 * 1024
+        assert not POWER10.user_privileged  # PCP path still relevant
+
+    def test_band_moves_with_cache_size(self):
+        p10 = gemm_divergence_band(POWER10.socket.l3_per_core_bytes)
+        assert p10.upper == pytest.approx(1024, abs=1)
+        assert p10.lower == pytest.approx(591, abs=1)
+
+    def test_batched_jump_follows_new_boundary(self):
+        result = run_experiment("ext-power10",
+                                sizes=(512, 720, 1024, 2048), seed=SEED)
+        batched = result.extras["batched"]
+        # 1024 sits exactly at the new upper bound: clean below, jump at
+        # and above it (Summit jumped already at 1024).
+        assert batched[720] == pytest.approx(1.0, abs=0.05)
+        assert batched[1024] > 50
+        assert batched[2048] > 100
+
+
+class TestGridShape:
+    def test_resort_ratio_invariant_across_shapes(self):
+        result = run_experiment("ext-gridshape", n=512, seed=SEED)
+        per = result.extras["per_shape"]
+        for shape, data in per.items():
+            assert data["s1cf_ratio"] == pytest.approx(2.0, abs=0.1), shape
+
+    def test_degenerate_grids_lose_one_exchange(self):
+        result = run_experiment("ext-gridshape", n=512, seed=SEED)
+        per = result.extras["per_shape"]
+        # 2x4 runs both All2Alls; 1x8 and 8x1 only one.
+        assert per[(2, 4)]["net_bytes"] > per[(1, 8)]["net_bytes"]
+        assert per[(2, 4)]["net_bytes"] > per[(8, 1)]["net_bytes"]

@@ -1,0 +1,63 @@
+"""Instrumented backward/roundtrip FFT pipeline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fft3d.app import FFT3DApp
+from repro.fft3d.fft import BACKWARD_PHASES, FORWARD_PHASES
+from repro.mpi.grid import ProcessorGrid
+from repro.noise import QUIET
+
+
+def make_app(direction, **kw):
+    kw.setdefault("n", 128)
+    kw.setdefault("grid", ProcessorGrid(2, 4))
+    kw.setdefault("seed", 5)
+    kw.setdefault("noise", QUIET)
+    return FFT3DApp(direction=direction, **kw)
+
+
+class TestBackwardPipeline:
+    def test_phase_mirror_structure(self):
+        fwd = [p.kind for p in FORWARD_PHASES]
+        bwd = [p.kind for p in BACKWARD_PHASES]
+        assert bwd == fwd[::-1]
+
+    def test_backward_resort_signatures(self):
+        app = make_app("backward")
+        app.run(slices_per_phase=1)
+        for phase, expected in (("s1cb", 2.0), ("s1pb", 2.0),
+                                ("s2cb", 1.0), ("s2pb", 1.0)):
+            recs = app.resort_summary(phase)
+            assert len(recs) == 8
+            ratio = (sum(r.read_bytes for r in recs)
+                     / sum(r.write_bytes for r in recs))
+            assert ratio == pytest.approx(expected, rel=0.05), phase
+
+    def test_roundtrip_runs_both_pipelines(self):
+        app = make_app("roundtrip")
+        names = [p.name for p in app.phases]
+        assert names[0] == "fft-z" and names[-1] == "ifft-z"
+        assert len(names) == 18
+        app.run(slices_per_phase=1)
+        # Four all2alls total: both row- and column-wise, twice.
+        recv = sum(nic.recv_octets for node in app.cluster.nodes
+                   for nic in node.nics)
+        fwd_only = make_app("forward")
+        fwd_only.run(slices_per_phase=1)
+        recv_fwd = sum(nic.recv_octets for node in fwd_only.cluster.nodes
+                       for nic in node.nics)
+        assert recv == pytest.approx(2 * recv_fwd, rel=0.01)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            make_app("sideways")
+
+    def test_backward_gpu_work_equals_forward(self):
+        fwd = make_app("forward")
+        fwd.run(slices_per_phase=1)
+        bwd = make_app("backward")
+        bwd.run(slices_per_phase=1)
+        g_fwd = fwd.cluster.nodes[0].gpus_on_socket(0)[0].flops_executed
+        g_bwd = bwd.cluster.nodes[0].gpus_on_socket(0)[0].flops_executed
+        assert g_fwd == pytest.approx(g_bwd)

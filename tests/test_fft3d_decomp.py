@@ -1,0 +1,51 @@
+"""Pencil decomposition: scatter/gather and local block arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fft3d.decomp import LocalBlock, gather, local_block, scatter
+from repro.mpi.grid import ProcessorGrid
+
+
+class TestLocalBlock:
+    def test_paper_shape(self):
+        # Local array is (N/r) x (N/c) x N.
+        block = local_block(16, ProcessorGrid(2, 4))
+        assert block.shape == (8, 4, 16)
+        assert block.elements == 8 * 4 * 16
+        assert block.nbytes == block.elements * 16
+
+    def test_fig10_sizes(self):
+        grid = ProcessorGrid(4, 8)
+        for n in (1344, 2016):
+            block = local_block(n, grid)
+            assert block.planes * grid.rows == n
+            assert block.rows * grid.cols == n
+
+
+class TestScatterGather:
+    def test_roundtrip(self):
+        grid = ProcessorGrid(2, 4)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((16, 16, 16)) + 0j
+        blocks = scatter(a, grid)
+        assert len(blocks) == 8
+        assert blocks[0].shape == (8, 4, 16)
+        assert np.array_equal(gather(blocks, grid), a)
+
+    def test_rank_owns_correct_slab(self):
+        grid = ProcessorGrid(2, 2)
+        a = np.arange(8 ** 3).reshape(8, 8, 8).astype(complex)
+        blocks = scatter(a, grid)
+        rank = grid.rank_of(1, 0)
+        assert np.array_equal(blocks[rank], a[4:8, 0:4, :])
+
+    def test_scatter_rejects_non_cube(self):
+        with pytest.raises(ConfigurationError):
+            scatter(np.zeros((4, 4, 8)), ProcessorGrid(2, 2))
+
+    def test_gather_validates_count(self):
+        grid = ProcessorGrid(2, 2)
+        with pytest.raises(ConfigurationError):
+            gather([np.zeros((2, 2, 4), dtype=complex)], grid)

@@ -1,0 +1,144 @@
+"""Re-sorting routines: numerics, traffic ratios, prefetch effects."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analytic import CacheContext
+from repro.engine.stream import resolve_policies
+from repro.fft3d.decomp import LocalBlock
+from repro.fft3d.resort import (
+    ROUTINES,
+    S1CFCombined,
+    S1CFLoopNest1,
+    S1CFLoopNest2,
+    S1PF,
+    S2CF,
+    S2PF,
+)
+from repro.machine.prefetch import SoftwarePrefetch
+from repro.machine.store import StorePolicy
+from repro.units import MIB
+
+BLOCK = LocalBlock(planes=8, rows=8, cols=16)
+CTX = CacheContext(capacity_bytes=5 * MIB)
+PF = SoftwarePrefetch(dcbt=True, dcbtst=True)
+
+
+def ratios(kernel, ctx=CTX, prefetch=SoftwarePrefetch()):
+    t = kernel.traffic(ctx, prefetch)
+    nbytes = kernel.nbytes
+    return t.read_bytes / nbytes, t.write_bytes / nbytes
+
+
+class TestNumerics:
+    def test_two_nests_equal_combined(self):
+        data = S1CFLoopNest1(BLOCK, seed=7).make_input()
+        tmp = S1CFLoopNest1(BLOCK).compute(data)
+        out_two = S1CFLoopNest2(BLOCK).compute(tmp.ravel())
+        out_one = S1CFCombined(BLOCK).compute(data)
+        assert np.array_equal(out_two, out_one)
+
+    def test_s1cf_is_the_expected_transpose(self):
+        data = np.arange(BLOCK.elements, dtype=complex)
+        out = S1CFCombined(BLOCK).compute(data)
+        ref = data.reshape(BLOCK.shape).transpose(2, 0, 1).ravel()
+        assert np.array_equal(out, ref)
+
+    def test_s2cf_is_a_permutation(self):
+        data = np.arange(BLOCK.elements, dtype=complex)
+        out = S2CF(BLOCK).compute(data)
+        assert sorted(out.real.astype(int)) == list(range(BLOCK.elements))
+        assert not np.array_equal(out, data)  # actually reorders
+
+    def test_planewise_variants_share_structure(self):
+        data = np.arange(BLOCK.elements, dtype=complex)
+        assert np.array_equal(S1PF(BLOCK).compute(data),
+                              S1CFCombined(BLOCK).compute(data))
+        assert np.array_equal(S2PF(BLOCK).compute(data),
+                              S2CF(BLOCK).compute(data))
+
+
+class TestTrafficRatios:
+    def test_ln1_bypass_one_read_one_write(self):
+        r, w = ratios(S1CFLoopNest1(BLOCK))
+        assert r == pytest.approx(1.0, rel=0.01)
+        assert w == pytest.approx(1.0, rel=0.01)
+
+    def test_ln1_prefetch_two_reads(self):
+        r, w = ratios(S1CFLoopNest1(BLOCK), prefetch=PF)
+        assert r == pytest.approx(2.0, rel=0.01)
+
+    def test_ln2_cached_two_reads(self):
+        r, w = ratios(S1CFLoopNest2(BLOCK))
+        assert r == pytest.approx(2.0, rel=0.01)
+
+    def test_ln2_thrashing_five_reads(self):
+        big = LocalBlock(planes=672, rows=336, cols=1344)  # N=1344, 2x4
+        tiny = CacheContext(capacity_bytes=5 * MIB)
+        r, w = ratios(S1CFLoopNest2(big), ctx=tiny)
+        assert r == pytest.approx(5.0, rel=0.02)
+        assert w == pytest.approx(1.0, rel=0.02)
+
+    def test_combined_always_two_to_one(self):
+        for planes, rows, cols in ((8, 8, 16), (672, 336, 1344)):
+            blk = LocalBlock(planes=planes, rows=rows, cols=cols)
+            r, w = ratios(S1CFCombined(blk))
+            assert r == pytest.approx(2.0, rel=0.02)
+            assert w == pytest.approx(1.0, rel=0.02)
+
+    def test_s2cf_one_to_one(self):
+        r, w = ratios(S2CF(BLOCK))
+        assert r == pytest.approx(1.0, rel=0.01)
+        assert w == pytest.approx(1.0, rel=0.01)
+
+    def test_s2cf_prefetch_two_to_one(self):
+        r, w = ratios(S2CF(BLOCK), prefetch=PF)
+        assert r == pytest.approx(2.0, rel=0.01)
+
+
+class TestPolicies:
+    def test_ln1_stores_bypass(self):
+        assert resolve_policies(S1CFLoopNest1(BLOCK).streams())["tmp"] is \
+            StorePolicy.BYPASS
+
+    def test_ln2_stores_allocate_due_to_strided_tmp(self):
+        assert resolve_policies(S1CFLoopNest2(BLOCK).streams())["out"] is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_combined_strided_stores_allocate(self):
+        assert resolve_policies(S1CFCombined(BLOCK).streams())["out"] is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_s2cf_stores_bypass(self):
+        assert resolve_policies(S2CF(BLOCK).streams())["out"] is \
+            StorePolicy.BYPASS
+
+
+class TestBandwidthEfficiency:
+    def test_ln2_gains_most_from_prefetch(self):
+        # Fig 7b: "a significant improvement in performance".
+        k = S1CFLoopNest2(BLOCK)
+        assert k.bandwidth_efficiency(PF) > \
+            2 * k.bandwidth_efficiency(SoftwarePrefetch())
+
+    def test_s2cf_already_efficient(self):
+        # "higher bandwidth due to better locality"
+        k2 = S2CF(BLOCK)
+        k1 = S1CFLoopNest2(BLOCK)
+        assert k2.bandwidth_efficiency() > k1.bandwidth_efficiency()
+
+
+class TestRegistry:
+    def test_routine_names(self):
+        forward = {"S1CF", "S1PF", "S2CF", "S2PF"}
+        backward = {"S1CB", "S1PB", "S2CB", "S2PB"}
+        assert set(ROUTINES) == forward | backward
+
+    def test_expected_ratios(self):
+        assert ROUTINES["S1CF"](BLOCK).expected_traffic().read_bytes == \
+            2 * BLOCK.nbytes
+        assert ROUTINES["S2CF"](BLOCK).expected_traffic().read_bytes == \
+            BLOCK.nbytes
+
+    def test_flops_zero(self):
+        assert S1CFCombined(BLOCK).flops() == 0.0

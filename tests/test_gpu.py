@@ -1,0 +1,152 @@
+"""GPU device, power log, and cuFFT plan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GPUError
+from repro.gpu.cufft import CufftPlan1D
+from repro.gpu.power import PowerLog
+from repro.machine.config import SUMMIT
+from repro.machine.node import Node
+from repro.noise import QUIET
+
+
+@pytest.fixture
+def node():
+    return Node(SUMMIT, seed=4, noise=QUIET)
+
+
+@pytest.fixture
+def gpu(node):
+    return node.gpus[0]
+
+
+class TestPowerLog:
+    def test_idle_baseline(self):
+        log = PowerLog(40.0)
+        assert log.power_at(123.0) == 40.0
+
+    def test_busy_interval(self):
+        log = PowerLog(40.0)
+        log.add_interval(1.0, 2.0, 300.0)
+        assert log.power_at(1.5) == 300.0
+        assert log.power_at(2.5) == 40.0
+
+    def test_energy_integral(self):
+        log = PowerLog(40.0)
+        log.add_interval(0.0, 1.0, 300.0)
+        assert log.energy_joules(0.0, 2.0) == pytest.approx(
+            300.0 + 40.0)
+
+    def test_average_power(self):
+        log = PowerLog(40.0)
+        log.add_interval(0.0, 1.0, 300.0)
+        assert log.average_power(0.0, 2.0) == pytest.approx(170.0)
+
+    def test_average_at_point_is_instantaneous(self):
+        log = PowerLog(40.0)
+        log.add_interval(0.0, 1.0, 250.0)
+        assert log.average_power(0.5, 0.5) == 250.0
+
+    def test_busy_seconds(self):
+        log = PowerLog(40.0)
+        log.add_interval(0.0, 1.0, 300.0)
+        log.add_interval(3.0, 4.0, 300.0)
+        assert log.busy_seconds(0.5, 3.5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        log = PowerLog(40.0)
+        with pytest.raises(GPUError):
+            log.add_interval(2.0, 1.0, 300.0)
+        with pytest.raises(GPUError):
+            log.add_interval(0.0, 1.0, 10.0)  # below idle
+        with pytest.raises(GPUError):
+            PowerLog(-1.0)
+
+
+class TestGPUDevice:
+    def test_h2d_reads_host_memory(self, gpu, node):
+        gpu.h2d(1 << 20)
+        assert node.socket(0).memory.total_read_bytes == 1 << 20
+        assert node.socket(0).memory.total_write_bytes == 0
+
+    def test_d2h_writes_host_memory(self, gpu, node):
+        gpu.d2h(1 << 20)
+        assert node.socket(0).memory.total_write_bytes == 1 << 20
+
+    def test_dma_advances_clock(self, gpu, node):
+        duration = gpu.h2d(int(gpu.config.dma_bandwidth))
+        assert duration == pytest.approx(1.0)
+        assert node.clock == pytest.approx(1.0)
+
+    def test_execute_logs_power_spike(self, gpu, node):
+        t0 = node.clock
+        duration = gpu.execute(gpu.config.flops)  # 1 second of work
+        assert duration == pytest.approx(1.0)
+        assert gpu.power.power_at(t0 + 0.5) == gpu.config.peak_power_w
+
+    def test_memory_tracking(self, gpu):
+        gpu.malloc(1 << 30)
+        assert gpu.allocated_bytes == 1 << 30
+        gpu.free(1 << 30)
+        assert gpu.allocated_bytes == 0
+
+    def test_oom(self, gpu):
+        with pytest.raises(GPUError):
+            gpu.malloc(gpu.config.memory_bytes + 1)
+
+    def test_over_free(self, gpu):
+        with pytest.raises(GPUError):
+            gpu.free(1)
+
+    def test_traffic_lands_on_own_socket(self, node):
+        gpu_s1 = node.gpus_on_socket(1)[0]
+        gpu_s1.h2d(4096)
+        assert node.socket(1).memory.total_read_bytes == 4096
+        assert node.socket(0).memory.total_read_bytes == 0
+
+    def test_cumulative_counters(self, gpu):
+        gpu.h2d(100)
+        gpu.h2d(200)
+        gpu.d2h(50)
+        assert gpu.h2d_bytes == 300
+        assert gpu.d2h_bytes == 50
+
+
+class TestCufftPlan:
+    def test_numerics_forward(self):
+        plan = CufftPlan1D(n=64, batch=8)
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((8, 64)) + 1j * rng.standard_normal((8, 64))
+        assert np.allclose(plan.execute(data), np.fft.fft(data, axis=1))
+
+    def test_inverse_is_unnormalised(self):
+        # cuFFT convention: ifft(fft(x)) == N * x ... our inverse
+        # multiplies back by N, so the round trip recovers x scaled.
+        plan = CufftPlan1D(n=32, batch=2)
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((2, 32)) + 0j
+        roundtrip = plan.execute(plan.execute(data), inverse=True)
+        assert np.allclose(roundtrip, data * 32)
+
+    def test_flops_formula(self):
+        plan = CufftPlan1D(n=1024, batch=4)
+        assert plan.flops == pytest.approx(5 * 4 * 1024 * 10)
+
+    def test_byte_volumes(self):
+        plan = CufftPlan1D(n=256, batch=16)
+        assert plan.bytes_in == 16 * 256 * 16
+        assert plan.bytes_in == plan.bytes_out
+
+    def test_simulate_drives_all_three_stages(self, gpu, node):
+        plan = CufftPlan1D(n=4096, batch=64)
+        total = plan.simulate(gpu)
+        sock = node.socket(0)
+        assert sock.memory.total_read_bytes == plan.bytes_in
+        assert sock.memory.total_write_bytes == plan.bytes_out
+        assert gpu.flops_executed == plan.flops
+        assert node.clock == pytest.approx(total)
+
+    def test_validation(self):
+        with pytest.raises(GPUError):
+            CufftPlan1D(n=0, batch=1)

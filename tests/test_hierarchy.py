@@ -1,0 +1,64 @@
+"""L3 slice topology: re-appropriation and spillover (Figs 2-4 logic)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.config import SUMMIT, TELLICO
+from repro.machine.hierarchy import L3Topology
+from repro.units import MIB
+
+
+@pytest.fixture
+def summit_topology():
+    return L3Topology(SUMMIT.socket, SUMMIT.usable_cores_per_socket)
+
+
+class TestReappropriation:
+    def test_single_core_gets_whole_socket(self, summit_topology):
+        # "giving the active core 110 MB worth of cache"
+        assert summit_topology.effective_capacity(1) == 110 * MIB
+
+    def test_all_cores_get_local_share_only(self, summit_topology):
+        # "each core can use up to 5MB of L3 cache"
+        share = summit_topology.share_for(21)
+        assert share.local_bytes == 5 * MIB
+        assert share.remote_bytes == 0
+
+    def test_capacity_monotonically_decreases(self, summit_topology):
+        caps = [summit_topology.effective_capacity(n)
+                for n in range(1, 22)]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_tellico_single_core(self):
+        topo = L3Topology(TELLICO.socket, 16)
+        assert topo.effective_capacity(1) == 80 * MIB
+
+    def test_invalid_core_counts(self, summit_topology):
+        with pytest.raises(ConfigurationError):
+            summit_topology.share_for(0)
+        with pytest.raises(ConfigurationError):
+            L3Topology(SUMMIT.socket, 0)
+
+
+class TestSpillover:
+    def test_no_spill_when_fits_locally(self, summit_topology):
+        assert summit_topology.spill_extra_read_fraction(4 * MIB, 1) == 0.0
+
+    def test_no_spill_when_all_cores_active(self, summit_topology):
+        # With every slice in use there is nothing to re-appropriate.
+        assert summit_topology.spill_extra_read_fraction(50 * MIB, 21) == 0.0
+
+    def test_spill_grows_with_footprint(self, summit_topology):
+        small = summit_topology.spill_extra_read_fraction(8 * MIB, 1)
+        large = summit_topology.spill_extra_read_fraction(60 * MIB, 1)
+        assert 0.0 < small < large
+
+    def test_spill_bounded_by_miss_factor(self, summit_topology):
+        frac = summit_topology.spill_extra_read_fraction(200 * MIB, 1)
+        assert frac <= L3Topology.REMOTE_SLICE_MISS_FACTOR
+
+    def test_spill_fraction_is_small_per_pass(self, summit_topology):
+        # The divergence is gradual: per-pass extra traffic is well
+        # below 1% of the footprint.
+        frac = summit_topology.spill_extra_read_fraction(50 * MIB, 1)
+        assert frac < 0.01

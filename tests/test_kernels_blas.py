@@ -1,0 +1,153 @@
+"""BLAS kernel models: numerics, streams, laws, expectations."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analytic import CacheContext
+from repro.errors import ConfigurationError
+from repro.kernels.blas import CappedGemv, Dot, Gemm, Gemv
+from repro.machine.store import StorePolicy
+from repro.engine.stream import resolve_policies
+from repro.units import DOUBLE, MIB
+
+CTX = CacheContext(capacity_bytes=110 * MIB)
+SMALL_CTX = CacheContext(capacity_bytes=5 * MIB)
+
+
+class TestDot:
+    def test_numerics(self):
+        d = Dot(100, seed=1)
+        x, y = d.make_inputs()
+        assert d.compute() == pytest.approx(float(np.dot(x, y)))
+
+    def test_traffic_is_two_streams(self):
+        d = Dot(1000)
+        t = d.traffic(CTX)
+        assert t.read_bytes == 2 * 1000 * DOUBLE
+        assert t.write_bytes == 0
+
+    def test_flops(self):
+        assert Dot(1000).flops() == 2000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dot(0)
+
+
+class TestGemmNumerics:
+    def test_matches_numpy(self):
+        g = Gemm(32, seed=2)
+        a, b = g.make_inputs()
+        assert np.allclose(g.compute(), a @ b)
+
+    def test_matches_triple_loop(self):
+        g = Gemm(5, seed=3)
+        a, b = g.make_inputs()
+        ref = np.zeros((5, 5))
+        for i in range(5):
+            for j in range(5):
+                for k in range(5):
+                    ref[i, j] += a[i, k] * b[k, j]
+        assert np.allclose(g.compute(), ref)
+
+    def test_deterministic_inputs(self):
+        a1, _ = Gemm(8, seed=5).make_inputs()
+        a2, _ = Gemm(8, seed=5).make_inputs()
+        assert np.array_equal(a1, a2)
+
+
+class TestGemmTraffic:
+    def test_cached_law_matches_paper_expectation(self):
+        g = Gemm(256)
+        t = g.traffic(CTX)
+        e = g.expected_traffic()
+        assert t.read_bytes == e.read_bytes
+        assert t.write_bytes == e.write_bytes
+
+    def test_b_stream_is_strided(self):
+        streams = {s.name: s for s in Gemm(64).streams()}
+        assert streams["B"].strided
+        assert streams["A"].sequential
+        assert streams["C"].interarrival == 128  # sparse stores
+
+    def test_c_write_allocates(self):
+        policies = resolve_policies(Gemm(64).streams())
+        assert policies["C"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_thrashing_b_blows_up_reads(self):
+        g = Gemm(1024)  # B = 8 MiB > 5 MiB share
+        cached = g.traffic(CTX)
+        thrash = g.traffic(SMALL_CTX)
+        assert thrash.read_bytes > 50 * cached.read_bytes
+        # writes unaffected: C is streamed once either way
+        assert thrash.write_bytes == cached.write_bytes
+
+    def test_footprint(self):
+        assert Gemm(100).footprint_bytes() == 3 * 100 * 100 * DOUBLE
+
+    def test_flops(self):
+        assert Gemm(100).flops() == 2e6
+
+
+class TestCappedGemv:
+    def test_plain_gemv_factory(self):
+        g = Gemv(64, 32)
+        assert g.p == 64
+        assert g.square
+
+    def test_numerics_row_recycling(self):
+        g = CappedGemv(m=10, n=4, p=3, seed=4)
+        a, x = g.make_inputs()
+        expected = np.array([a[i % 3] @ x for i in range(10)])
+        assert np.allclose(g.compute(), expected)
+
+    def test_cap_cannot_exceed_m(self):
+        with pytest.raises(ConfigurationError):
+            CappedGemv(m=4, n=8, p=8)
+
+    def test_default_cap_is_min(self):
+        assert CappedGemv(m=100, n=30).p == 30
+        assert CappedGemv(m=20, n=30).p == 20
+
+    def test_y_stream_is_sparse(self):
+        streams = {s.name: s for s in CappedGemv(m=64, n=32).streams()}
+        assert streams["y"].interarrival == 64  # 2N accesses per store
+
+    def test_y_write_allocates(self):
+        # "M reads are incurred by the hardware when writing into y"
+        policies = resolve_policies(CappedGemv(m=64, n=32).streams())
+        assert policies["y"] is StorePolicy.WRITE_ALLOCATE
+
+    def test_capped_law_matches_paper_when_thrashing(self):
+        # A larger than cache: measured law == M*N + M + N reads.
+        k = CappedGemv(m=4096, n=1280, p=1280)
+        t = k.traffic(SMALL_CTX)
+        e = k.expected_traffic()
+        assert t.read_bytes == pytest.approx(e.read_bytes, rel=0.01)
+        assert t.write_bytes == e.write_bytes
+
+    def test_square_law_equals_expectation(self):
+        # Square regime: A makes exactly one pass, so the cached law
+        # coincides with the paper's expectation M^2 + 2M.
+        k = CappedGemv(m=512, n=512, p=512)
+        t = k.traffic(CTX)
+        e = k.expected_traffic()
+        assert t.read_bytes == e.read_bytes
+        assert t.write_bytes == e.write_bytes
+
+    def test_memory_saving_vs_uncapped(self):
+        capped = CappedGemv(m=1_000_000, n=1280, p=1280)
+        uncapped_bytes = 1_000_000 * 1280 * DOUBLE
+        assert capped.footprint_bytes() < uncapped_bytes / 100
+
+
+class TestExpectations:
+    def test_gemm_expected(self):
+        e = Gemm(100).expected_traffic()
+        assert e.read_bytes == 3 * 100 * 100 * 8
+        assert e.write_bytes == 100 * 100 * 8
+
+    def test_gemv_expected(self):
+        e = CappedGemv(m=50, n=20, p=20).expected_traffic()
+        assert e.read_bytes == (50 * 20 + 50 + 20) * 8
+        assert e.write_bytes == 50 * 8

@@ -1,0 +1,43 @@
+"""Compiler-flag model (-fprefetch-loop-arrays -> dcbt/dcbtst)."""
+
+from repro.kernels.compiler import (
+    NO_EXTRA_FLAGS,
+    PREFETCH_LOOP_ARRAYS,
+    CompilerConfig,
+    compile_kernel,
+)
+
+
+class TestFlags:
+    def test_no_flags_no_prefetch(self):
+        cfg = compile_kernel(NO_EXTRA_FLAGS)
+        assert not cfg.prefetch.dcbt
+        assert not cfg.prefetch.dcbtst
+        assert not cfg.prefetches_store_targets
+
+    def test_prefetch_flag_enables_both(self):
+        cfg = compile_kernel(PREFETCH_LOOP_ARRAYS)
+        assert cfg.prefetch.dcbt
+        assert cfg.prefetch.dcbtst
+        assert cfg.prefetches_store_targets
+
+    def test_flag_among_others(self):
+        cfg = compile_kernel("-O3 -fprefetch-loop-arrays -funroll-loops")
+        assert cfg.prefetches_store_targets
+
+
+class TestAssembly:
+    def test_plain_body_has_no_prefetch(self):
+        body = CompilerConfig().loop_body_assembly()
+        assert not any("dcbt" in line for line in body)
+        assert any("lxv" in line for line in body)
+        assert any("stxv" in line for line in body)
+
+    def test_prefetch_body_matches_listing6(self):
+        # Paper Listing 6: dcbt for the load array, dcbtst for the
+        # store array, ahead of the copy body.
+        body = CompilerConfig(PREFETCH_LOOP_ARRAYS).loop_body_assembly(
+            load_array="in", store_array="tmp")
+        assert body[0].startswith("dcbt ")
+        assert body[1].startswith("dcbtst")
+        assert "tmp" in body[1]

@@ -1,0 +1,161 @@
+"""Sparse kernels: CSR numerics, SpMV traffic law, CG convergence."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analytic import CacheContext
+from repro.engine.exact import ExactEngine
+from repro.errors import ConfigurationError
+from repro.kernels.sparse import (
+    CSRMatrix,
+    SpmvKernel,
+    conjugate_gradient,
+    dense_to_csr,
+    laplacian_3d,
+    random_csr,
+)
+from repro.machine.config import CacheConfig
+from repro.units import MIB
+
+
+class TestCSR:
+    def test_matvec_matches_dense(self):
+        mat = random_csr(50, 7, seed=1)
+        x = np.random.default_rng(2).standard_normal(50)
+        assert np.allclose(mat.matvec(x), mat.to_dense() @ x)
+
+    def test_dense_roundtrip(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((12, 9))
+        dense[np.abs(dense) < 0.8] = 0.0
+        mat = dense_to_csr(dense)
+        assert np.allclose(mat.to_dense(), dense)
+
+    def test_empty_rows_handled(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 5.0
+        mat = dense_to_csr(dense)
+        y = mat.matvec(np.ones(4))
+        assert np.allclose(y, [0.0, 5.0, 0.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]),
+                      np.array([1.0]))
+
+    def test_laplacian_structure(self):
+        mat = laplacian_3d(3, 3, 3)
+        dense = mat.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.all(np.diag(dense) == 6.0)
+        # Interior point has 6 neighbours.
+        centre = (1 * 3 + 1) * 3 + 1
+        assert (dense[centre] != 0).sum() == 7
+
+    def test_laplacian_positive_definite(self):
+        dense = laplacian_3d(3, 3, 2).to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0
+
+
+class TestSpmvKernel:
+    def test_numerics(self):
+        mat = random_csr(64, 5, seed=4)
+        kernel = SpmvKernel(mat, seed=4)
+        x = kernel.make_input()
+        assert np.allclose(kernel.compute(), mat.to_dense() @ x)
+
+    def test_cached_law_matches_exact(self):
+        mat = random_csr(256, 8, seed=5)
+        kernel = SpmvKernel(mat)
+        engine = ExactEngine(CacheConfig(capacity_bytes=4 * MIB))
+        exact = engine.run_nest(kernel.streams(), kernel.exact_accesses())
+        analytic = kernel.traffic(CacheContext(capacity_bytes=4 * MIB))
+        assert analytic.read_bytes == pytest.approx(exact.read_bytes,
+                                                    rel=0.06)
+        assert analytic.write_bytes == pytest.approx(exact.write_bytes,
+                                                     rel=0.06)
+
+    def test_uncached_gather_amplifies(self):
+        mat = random_csr(512, 8, seed=6)
+        kernel = SpmvKernel(mat)
+        big = kernel.traffic(CacheContext(capacity_bytes=4 * MIB))
+        tiny = kernel.traffic(CacheContext(capacity_bytes=1024))
+        assert tiny.read_bytes > 2 * big.read_bytes
+
+    def test_uncached_exact_crossval(self):
+        mat = random_csr(512, 8, seed=6)
+        kernel = SpmvKernel(mat)
+        engine = ExactEngine(CacheConfig(capacity_bytes=2048,
+                                         associativity=4))
+        exact = engine.run_nest(kernel.streams(), kernel.exact_accesses())
+        analytic = kernel.traffic(CacheContext(capacity_bytes=2048))
+        assert analytic.read_bytes == pytest.approx(exact.read_bytes,
+                                                    rel=0.25)
+
+    def test_flops(self):
+        mat = random_csr(32, 4, seed=7)
+        assert SpmvKernel(mat).flops() == 2 * mat.nnz
+
+    def test_from_shape_matches_materialised_law(self):
+        shape_only = SpmvKernel.from_shape(256, 8)
+        real = SpmvKernel(random_csr(256, 8, seed=5))
+        ctx = CacheContext(capacity_bytes=4 * MIB)
+        assert tuple(shape_only.traffic(ctx)) == tuple(real.traffic(ctx))
+
+    def test_from_shape_scales_without_data(self):
+        kernel = SpmvKernel.from_shape(1 << 22, 8)
+        assert kernel.matrix.nnz == (1 << 22) * 8
+        assert kernel.flops() == 2 * kernel.matrix.nnz
+
+    def test_from_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpmvKernel.from_shape(4, 8)
+
+    def test_expected_traffic_shape(self):
+        mat = random_csr(100, 10, seed=8)
+        e = SpmvKernel(mat).expected_traffic()
+        # values dominate reads: 8 B per nnz plus 4 B index.
+        assert e.read_bytes > mat.nnz * 12
+        assert e.write_bytes == 100 * 8
+
+
+class TestConjugateGradient:
+    def test_solves_laplacian(self):
+        mat = laplacian_3d(4, 4, 4)
+        rng = np.random.default_rng(9)
+        b = rng.standard_normal(mat.n_rows)
+        result = conjugate_gradient(mat, b, tol=1e-10)
+        assert result.converged
+        assert np.allclose(mat.matvec(result.x), b, atol=1e-7)
+
+    def test_matches_direct_solve(self):
+        mat = laplacian_3d(3, 3, 3)
+        b = np.ones(mat.n_rows)
+        result = conjugate_gradient(mat, b, tol=1e-12)
+        direct = np.linalg.solve(mat.to_dense(), b)
+        assert np.allclose(result.x, direct, atol=1e-8)
+
+    def test_residuals_monotone_ish(self):
+        mat = laplacian_3d(4, 4, 2)
+        b = np.ones(mat.n_rows)
+        result = conjugate_gradient(mat, b)
+        # CG residuals can wobble, but the trend must collapse.
+        assert result.residual_norms[-1] < 1e-6 * result.residual_norms[0]
+
+    def test_finishes_within_n_iterations_in_exact_arithmetic(self):
+        mat = laplacian_3d(3, 3, 2)
+        b = np.ones(mat.n_rows)
+        result = conjugate_gradient(mat, b, tol=1e-10)
+        assert result.iterations <= mat.n_rows + 2
+
+    def test_rejects_non_spd(self):
+        dense = np.array([[1.0, 0.0], [0.0, -2.0]])
+        mat = dense_to_csr(dense)
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(mat, np.array([1.0, 1.0]))
+
+    def test_shape_validation(self):
+        mat = laplacian_3d(2, 2, 2)
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(mat, np.ones(3))

@@ -1,0 +1,78 @@
+"""STREAM kernels: numerics, traffic, exact cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.analytic import CacheContext
+from repro.engine.exact import ExactEngine
+from repro.errors import ConfigurationError
+from repro.kernels.stream import StreamKernel, stream_suite
+from repro.machine.config import CacheConfig
+from repro.machine.prefetch import SoftwarePrefetch
+from repro.units import DOUBLE, MIB
+
+CTX = CacheContext(capacity_bytes=5 * MIB)
+
+
+class TestNumerics:
+    def test_copy(self):
+        k = StreamKernel("copy", 100, seed=1)
+        assert np.array_equal(k.compute(), k.make_inputs()[0])
+
+    def test_scale(self):
+        k = StreamKernel("scale", 100, q=2.5, seed=1)
+        assert np.allclose(k.compute(), 2.5 * k.make_inputs()[0])
+
+    def test_add(self):
+        k = StreamKernel("add", 100, seed=1)
+        a, b = k.make_inputs()
+        assert np.allclose(k.compute(), a + b)
+
+    def test_triad(self):
+        k = StreamKernel("triad", 100, q=3.0, seed=1)
+        a, b = k.make_inputs()
+        assert np.allclose(k.compute(), a + 3.0 * b)
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            StreamKernel("daxpy", 100)
+
+
+class TestTraffic:
+    @pytest.mark.parametrize("op,reads", [("copy", 1), ("scale", 1),
+                                          ("add", 2), ("triad", 2)])
+    def test_expected_element_counts(self, op, reads):
+        n = 4096
+        k = StreamKernel(op, n)
+        e = k.expected_traffic()
+        assert e.read_bytes == reads * n * DOUBLE
+        assert e.write_bytes == n * DOUBLE
+
+    def test_law_matches_expectation(self):
+        # Dense sequential stores bypass: no read-for-write.
+        for k in stream_suite(4096):
+            t = k.traffic(CTX)
+            e = k.expected_traffic()
+            assert tuple(t) == tuple(e), k.op
+
+    def test_dcbtst_adds_read_per_write(self):
+        k = StreamKernel("copy", 4096)
+        pf = SoftwarePrefetch(dcbt=True, dcbtst=True)
+        t = k.traffic(CTX, pf)
+        assert t.read_bytes == 2 * 4096 * DOUBLE
+
+    @pytest.mark.parametrize("op", ["copy", "add", "triad", "scale"])
+    def test_exact_crossval(self, op):
+        k = StreamKernel(op, 2048)
+        engine = ExactEngine(CacheConfig(capacity_bytes=MIB))
+        exact = engine.run_nest(k.streams(), k.exact_accesses())
+        analytic = k.traffic(CacheContext(capacity_bytes=MIB))
+        assert tuple(exact) == tuple(analytic)
+
+    def test_flops(self):
+        assert StreamKernel("copy", 100).flops() == 0
+        assert StreamKernel("triad", 100).flops() == 200
+
+    def test_suite_covers_all_ops(self):
+        assert sorted(k.op for k in stream_suite(64)) == \
+            ["add", "copy", "scale", "triad"]

@@ -1,0 +1,121 @@
+"""Machine-description invariants (Summit/Tellico/Skylake geometry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.config import (
+    SKYLAKE,
+    SUMMIT,
+    TELLICO,
+    CacheConfig,
+    GPUConfig,
+    MachineConfig,
+    PrefetchConfig,
+    SocketConfig,
+    get_machine,
+)
+from repro.units import MIB
+
+
+class TestCacheConfig:
+    def test_power9_defaults(self):
+        cfg = CacheConfig(capacity_bytes=10 * MIB)
+        assert cfg.line_bytes == 128
+        assert cfg.granule_bytes == 64
+        assert cfg.n_lines == 10 * MIB // 128
+        assert cfg.n_sets * cfg.associativity == cfg.n_lines
+
+    def test_rejects_bad_line_granule(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_bytes=MIB, line_bytes=96, granule_bytes=64)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_bytes=0)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_bytes=1000, associativity=16)
+
+
+class TestSummit:
+    def test_paper_core_counts(self):
+        # "Although there are 22 cores per socket, one of these cannot
+        # be accessed by the user."
+        assert SUMMIT.socket.n_cores == 22
+        assert SUMMIT.usable_cores_per_socket == 21
+        assert SUMMIT.n_sockets == 2
+
+    def test_l3_geometry(self):
+        # "11 core pairs ... a total of 110 MB of L3 cache. Each core
+        # pair is delegated a 10MB cache slice."
+        assert SUMMIT.socket.n_core_pairs == 11
+        assert SUMMIT.socket.l3_slice.capacity_bytes == 10 * MIB
+        assert SUMMIT.socket.l3_total_bytes == 110 * MIB
+        assert SUMMIT.socket.l3_per_core_bytes == 5 * MIB
+
+    def test_unprivileged_user(self):
+        assert not SUMMIT.user_privileged
+
+    def test_devices(self):
+        assert SUMMIT.gpus_per_socket == 3
+        assert SUMMIT.gpu.name.startswith("Tesla_V100")
+        assert len(SUMMIT.nics) == 2
+
+    def test_memory_channels(self):
+        assert SUMMIT.socket.n_memory_channels == 8
+
+
+class TestTellico:
+    def test_sixteen_core_sockets(self):
+        assert TELLICO.socket.n_cores == 16
+        assert TELLICO.n_sockets == 2
+
+    def test_privileged_user(self):
+        assert TELLICO.user_privileged
+
+    def test_same_arch_as_summit(self):
+        # "an in-house machine with a very similar architecture"
+        assert TELLICO.arch == SUMMIT.arch
+        assert TELLICO.socket.l3_per_core_bytes == \
+            SUMMIT.socket.l3_per_core_bytes
+
+
+class TestSkylake:
+    def test_full_line_fetches(self):
+        # Intel fetches whole 64 B lines (granule == line).
+        assert SKYLAKE.socket.l3_slice.line_bytes == 64
+        assert SKYLAKE.socket.l3_slice.granule_bytes == 64
+
+
+class TestValidation:
+    def test_get_machine(self):
+        assert get_machine("summit") is SUMMIT
+        assert get_machine("TELLICO") is TELLICO
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("perlmutter")
+
+    def test_socket_core_pair_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            SocketConfig(n_cores=7, cores_per_pair=2)
+
+    def test_machine_needs_gpu_config_for_gpus(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(name="x", arch="y", n_sockets=1,
+                          socket=SocketConfig(n_cores=4),
+                          gpus_per_socket=2, gpu=None)
+
+    def test_cannot_reserve_all_cores(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(name="x", arch="y", n_sockets=1,
+                          socket=SocketConfig(n_cores=4),
+                          reserved_cores_per_socket=4)
+
+    def test_prefetch_defaults(self):
+        assert PrefetchConfig().detect_threshold == 4
+
+    def test_gpu_defaults(self):
+        gpu = GPUConfig()
+        assert gpu.peak_power_w > gpu.idle_power_w

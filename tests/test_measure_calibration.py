@@ -1,0 +1,98 @@
+"""Noise calibration: recovering the injected noise parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.blas import Gemm
+from repro.measure.calibration import CalibrationResult, NoiseCalibrator
+from repro.measure.session import MeasurementSession
+from repro.noise import QUIET, NoiseConfig
+
+
+class TestFit:
+    def test_quiet_system_has_no_excess(self):
+        session = MeasurementSession("summit", seed=9, noise=QUIET)
+        calibrator = NoiseCalibrator(session, rep_sweep=(1, 4, 16),
+                                     runs_per_point=2)
+        fit = calibrator.calibrate(Gemm(128))
+        assert abs(fit.steady_excess) < 1000
+        assert abs(fit.window_excess) < 1000
+        assert fit.residual_rms < 1000
+
+    def test_recovers_injected_fixed_window_bytes(self):
+        # Deterministic noise: ONLY a fixed per-window read component.
+        cfg = NoiseConfig(
+            background_read_rate=0.0, background_write_rate=0.0,
+            background_sigma=0.0, capture_sigma0=0.0,
+            fixed_read_bytes=5e6, fixed_write_bytes=0.0,
+            per_rep_read_bytes=0.0, per_rep_write_bytes=0.0,
+            window_overhead_pcp=0.0, window_overhead_direct=0.0,
+        )
+        session = MeasurementSession("summit", seed=9, noise=cfg)
+        fit = NoiseCalibrator(session, rep_sweep=(1, 2, 4, 8, 16),
+                              runs_per_point=3).calibrate(Gemm(96))
+        assert fit.window_excess == pytest.approx(5e6, rel=0.05)
+        assert abs(fit.steady_excess) < 0.05 * 5e6
+
+    def test_recovers_injected_per_rep_bytes(self):
+        cfg = NoiseConfig(
+            background_read_rate=0.0, background_write_rate=0.0,
+            background_sigma=0.0, capture_sigma0=0.0,
+            fixed_read_bytes=0.0, fixed_write_bytes=0.0,
+            per_rep_read_bytes=3e5, per_rep_write_bytes=0.0,
+            window_overhead_pcp=0.0, window_overhead_direct=0.0,
+        )
+        session = MeasurementSession("summit", seed=9, noise=cfg)
+        fit = NoiseCalibrator(session, rep_sweep=(1, 4, 16),
+                              runs_per_point=3).calibrate(Gemm(96))
+        assert fit.steady_excess == pytest.approx(3e5, rel=0.05)
+        assert abs(fit.window_excess) < 0.1 * 3e5
+
+    def test_validation(self):
+        session = MeasurementSession("summit", seed=9, noise=QUIET)
+        with pytest.raises(ConfigurationError):
+            NoiseCalibrator(session, rep_sweep=(5,))
+        with pytest.raises(ConfigurationError):
+            NoiseCalibrator(session, runs_per_point=0)
+
+
+class TestPolicyDerivation:
+    def test_repetitions_shrink_with_kernel_size(self):
+        # Bigger kernels need fewer repetitions for the same tolerance —
+        # Eq. 5's rationale, derived from the fitted model.
+        session = MeasurementSession("summit", seed=9)
+        calibrator = NoiseCalibrator(session, rep_sweep=(1, 4, 16, 64),
+                                     runs_per_point=4)
+        small = calibrator.calibrate(Gemm(384))
+        large = calibrator.calibrate(Gemm(1024))
+        r_small = small.repetitions_for_tolerance(0.25)
+        r_large = large.repetitions_for_tolerance(0.25)
+        assert r_small is not None and r_large is not None
+        assert r_large < r_small
+
+    def test_small_kernels_can_be_unfixable(self):
+        # Per-repetition overhead is a bias repetitions cannot remove:
+        # tight tolerances are unachievable for tiny kernels — the
+        # paper's "small kernels ... fraught with noise" in fit form.
+        session = MeasurementSession("summit", seed=9)
+        calibrator = NoiseCalibrator(session, rep_sweep=(1, 4, 16),
+                                     runs_per_point=3)
+        fit = calibrator.calibrate(Gemm(96))
+        assert fit.repetitions_for_tolerance(0.05) is None
+
+    def test_unachievable_tolerance_returns_none(self):
+        fit = CalibrationResult(kernel="x", true_read_bytes=1000.0,
+                                steady_excess=500.0, window_excess=1e6,
+                                residual_rms=0.0)
+        assert fit.repetitions_for_tolerance(0.1) is None
+
+    def test_no_window_excess_needs_one_rep(self):
+        fit = CalibrationResult(kernel="x", true_read_bytes=1e6,
+                                steady_excess=0.0, window_excess=0.0,
+                                residual_rms=0.0)
+        assert fit.repetitions_for_tolerance(0.05) == 1
+
+    def test_tolerance_validation(self):
+        fit = CalibrationResult("x", 1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            fit.repetitions_for_tolerance(0.0)

@@ -1,0 +1,82 @@
+"""Derived metrics: bandwidth, intensity, roofline placement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.blas import Dot, Gemm
+from repro.machine.config import SUMMIT
+from repro.measure.derived import DerivedMetrics, from_measurement
+from repro.measure.session import MeasurementSession
+from repro.noise import QUIET
+
+
+class TestArithmetic:
+    def test_bandwidth_and_flop_rate(self):
+        m = DerivedMetrics(bytes_moved=2_000_000, flops=1e6, seconds=0.01)
+        assert m.bandwidth == pytest.approx(2e8)
+        assert m.flop_rate == pytest.approx(1e8)
+
+    def test_intensity(self):
+        m = DerivedMetrics(bytes_moved=100, flops=250, seconds=1.0)
+        assert m.arithmetic_intensity == 2.5
+
+    def test_zero_seconds(self):
+        m = DerivedMetrics(bytes_moved=10, flops=10, seconds=0.0)
+        assert m.bandwidth == 0.0
+
+    def test_zero_bytes_infinite_intensity(self):
+        assert DerivedMetrics(0, 1.0, 1.0).arithmetic_intensity == \
+            float("inf")
+        assert DerivedMetrics(0, 0.0, 1.0).arithmetic_intensity == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DerivedMetrics(-1, 0, 0)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        ridge = DerivedMetrics.ridge_intensity(SUMMIT, n_cores=1)
+        assert ridge == pytest.approx(
+            SUMMIT.socket.core_flops / SUMMIT.socket.memory_bandwidth)
+
+    def test_streaming_kernel_is_memory_bound(self):
+        # DOT: 2 flops per 16 bytes -> far below any ridge.
+        m = DerivedMetrics(bytes_moved=16_000, flops=2_000, seconds=1e-6)
+        assert m.roofline_bound(SUMMIT, n_cores=21) == "memory"
+
+    def test_dense_kernel_is_compute_bound(self):
+        # Cached GEMM: 2N^3 flops per 4N^2 * 8 bytes.
+        n = 2048
+        m = DerivedMetrics(bytes_moved=4 * n * n * 8, flops=2 * n ** 3,
+                           seconds=1.0)
+        assert m.roofline_bound(SUMMIT, n_cores=1) == "compute"
+
+    def test_attainable_capped_by_peak(self):
+        m = DerivedMetrics(bytes_moved=1, flops=1e15, seconds=1.0)
+        assert m.attainable_flop_rate(SUMMIT, n_cores=2) == \
+            2 * SUMMIT.socket.core_flops
+
+    def test_efficiency_bounded(self):
+        session = MeasurementSession("summit", seed=1, noise=QUIET)
+        kernel = Gemm(256)
+        result = session.measure_kernel(kernel, noisy=False)
+        m = from_measurement(result, kernel)
+        assert 0.0 < m.efficiency(SUMMIT) <= 1.0
+
+
+class TestFromMeasurement:
+    def test_intensities_match_theory(self):
+        session = MeasurementSession("summit", seed=1, noise=QUIET)
+        dot = Dot(1 << 20)
+        result = session.measure_kernel(dot, noisy=False)
+        m = from_measurement(result, dot)
+        # DOT: 2N flops over 2N*8 bytes = 0.125 flops/byte.
+        assert m.arithmetic_intensity == pytest.approx(0.125, rel=0.01)
+
+    def test_batched_flops_scaled(self):
+        session = MeasurementSession("summit", seed=1, noise=QUIET)
+        kernel = Gemm(128)
+        result = session.measure_kernel(kernel, n_cores=21, noisy=False)
+        m = from_measurement(result, kernel)
+        assert m.flops == 21 * kernel.flops()

@@ -1,0 +1,62 @@
+"""Expected-traffic formulas and divergence boundaries (Eqs. 3, 4, 7)."""
+
+import pytest
+
+from repro.measure.expectations import (
+    CAPPED_GEMV_TRANSITION,
+    gemm_divergence_band,
+    gemm_expected_bytes,
+    gemv_expected_bytes,
+    resort_expected_bytes,
+    s1cf_ln2_boundary,
+)
+from repro.units import MIB
+
+
+class TestEquation3And4:
+    def test_paper_band(self):
+        band = gemm_divergence_band(5 * MIB)
+        # Eq. 3: N ~ 467; Eq. 4: N ~ 809.
+        assert band.lower == pytest.approx(467, abs=1)
+        assert band.upper == pytest.approx(809, abs=1)
+
+    def test_band_contains(self):
+        band = gemm_divergence_band(5 * MIB)
+        assert band.contains(600)
+        assert not band.contains(100)
+        assert not band.contains(2000)
+
+    def test_band_scales_with_cache(self):
+        small = gemm_divergence_band(5 * MIB)
+        big = gemm_divergence_band(20 * MIB)
+        assert big.lower == pytest.approx(2 * small.lower, rel=0.01)
+
+
+class TestEquation7:
+    def test_paper_boundary(self):
+        # 4*(16N^2/8) + 16N^2/8 = 5 MiB  ->  N ~ 724.
+        assert s1cf_ln2_boundary(5 * MIB, 8) == pytest.approx(724, abs=1)
+
+    def test_scales_with_processes(self):
+        # More processes -> smaller per-rank slab -> larger boundary.
+        assert s1cf_ln2_boundary(5 * MIB, 32) > s1cf_ln2_boundary(5 * MIB, 8)
+
+
+class TestExpectedBytes:
+    def test_gemm(self):
+        e = gemm_expected_bytes(100)
+        assert e["read_bytes"] == 3 * 100 * 100 * 8
+        assert e["write_bytes"] == 100 * 100 * 8
+
+    def test_gemv(self):
+        e = gemv_expected_bytes(50, 20)
+        assert e["read_bytes"] == (50 * 20 + 50 + 20) * 8
+        assert e["write_bytes"] == 50 * 8
+
+    def test_resort_ratios(self):
+        e = resort_expected_bytes(1000, reads_per_write=2.0)
+        assert e["read_bytes"] == 2 * e["write_bytes"]
+        assert e["write_bytes"] == 16000
+
+    def test_transition_constant(self):
+        assert CAPPED_GEMV_TRANSITION == 1280

@@ -1,0 +1,94 @@
+"""ASCII log-log figure rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measure.figures import MARKERS, ascii_plot, plot_ratio_sweep
+
+
+class TestAsciiPlot:
+    def test_markers_placed(self):
+        out = ascii_plot({"a": [(1, 1), (10, 10), (100, 100)]},
+                         width=40, height=10)
+        assert out.count("o") >= 3 + 1  # points + legend entry
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot({
+            "one": [(1, 1), (100, 1)],
+            "two": [(1, 100), (100, 100)],
+        }, width=40, height=10)
+        assert "o one" in out and "x two" in out
+        lines = out.splitlines()
+        top_rows = "\n".join(lines[:6])
+        bottom_rows = "\n".join(lines[-6:])
+        assert "x" in top_rows      # large-y series at the top
+        assert "o" in bottom_rows   # small-y series at the bottom
+
+    def test_log_axes_labels(self):
+        out = ascii_plot({"a": [(10, 1), (10000, 1000)]},
+                         width=40, height=10)
+        assert "1e+04" in out or "10000" in out or "1e+4" in out
+
+    def test_linear_axes(self):
+        out = ascii_plot({"a": [(0, 0), (5, 10)]}, logx=False, logy=False,
+                         width=40, height=10)
+        assert "|" in out
+
+    def test_title_and_axis_labels(self):
+        out = ascii_plot({"a": [(1, 1), (2, 2)]}, title="T",
+                         xlabel="N", ylabel="ratio", width=40, height=10)
+        assert out.splitlines()[0] == "T"
+        assert "x: N" in out and "y: ratio" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": [(0, 1)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": []})
+
+    def test_too_small_plot_area(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": [(1, 1)]}, width=4, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"a": [(1, 5), (10, 5), (100, 5)]},
+                         width=40, height=10)
+        assert "o" in out
+
+
+class TestPlotRatioSweep:
+    def test_from_experiment_rows(self):
+        rows = [[64, 2.0, 5.0], [128, 1.5, 3.0], [256, 1.0, 1.2]]
+        out = plot_ratio_sweep(rows, n_col=0,
+                               ratio_cols={"read": 1, "write": 2},
+                               title="sweep", width=40, height=10)
+        assert "o read" in out and "x write" in out
+
+    def test_skips_nonpositive_ratios(self):
+        rows = [[64, 0.0], [128, 2.0]]
+        out = plot_ratio_sweep(rows, n_col=0, ratio_cols={"r": 1},
+                               width=40, height=10)
+        assert out  # only the positive point survives
+
+
+class TestCLIPlot:
+    def test_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig3", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "(a) single-thread" in out
+        assert "measured/expected" in out
+
+    def test_plot_flag_on_unplottable(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--plot"]) == 0
+        assert "no plottable sweep" in capsys.readouterr().out
+
+    def test_markers_constant(self):
+        assert len(set(MARKERS)) == len(MARKERS)

@@ -1,0 +1,87 @@
+"""Adaptive repetitions (Eq. 5), aggregation, sweep helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measure.repetition import (
+    PAPER_POLICY,
+    RepetitionPolicy,
+    aggregate,
+    repetitions_for,
+    sweep_sizes,
+)
+
+
+class TestEquation5:
+    def test_paper_values(self):
+        # Repetitions(N) = floor(514 - 0.246 N) for N < 2048, else 10.
+        assert repetitions_for(0) == 514
+        assert repetitions_for(100) == 514 - 25  # floor(514-24.6)=489
+        assert repetitions_for(1000) == 268
+        assert repetitions_for(2047) == 10  # floor(10.4..) = 10
+        assert repetitions_for(2048) == 10
+        assert repetitions_for(100000) == 10
+
+    def test_monotonically_nonincreasing(self):
+        values = [repetitions_for(n) for n in range(0, 4096, 64)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_never_below_floor(self):
+        assert all(repetitions_for(n) >= 10 for n in range(0, 5000, 7))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repetitions_for(-1)
+
+    def test_custom_policy(self):
+        policy = RepetitionPolicy(intercept=100, slope=0.1, cutoff=500,
+                                  floor=5)
+        assert policy.repetitions(0) == 100
+        assert policy.repetitions(500) == 5
+
+    def test_paper_policy_constants(self):
+        assert PAPER_POLICY.intercept == 514.0
+        assert PAPER_POLICY.slope == 0.246
+        assert PAPER_POLICY.cutoff == 2048
+        assert PAPER_POLICY.floor == 10
+
+
+class TestAggregate:
+    def test_mean(self):
+        assert aggregate([1.0, 2.0, 3.0], "mean") == 2.0
+
+    def test_min(self):
+        assert aggregate([5.0, 2.0, 9.0], "min") == 2.0
+
+    def test_median(self):
+        assert aggregate([1.0, 100.0, 3.0], "median") == 3.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([1.0], "mode")
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([], "mean")
+
+    def test_min_robust_to_noise_spike(self):
+        # The rationale from [9]: min discards additive noise spikes.
+        clean = 100.0
+        noisy = [clean, clean * 5, clean * 1.1, clean * 2]
+        assert aggregate(noisy, "min") == clean
+        assert aggregate(noisy, "mean") > clean
+
+
+class TestSweepSizes:
+    def test_monotone_and_bounded(self):
+        sizes = sweep_sizes(64, 4096)
+        assert sizes == sorted(set(sizes))
+        assert sizes[0] >= 16
+        assert sizes[-1] <= 4096 + 16
+
+    def test_multiples_of_16(self):
+        assert all(n % 16 == 0 for n in sweep_sizes(64, 2048))
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            sweep_sizes(100, 50)

@@ -1,0 +1,56 @@
+"""Report formatting helpers."""
+
+from repro.measure.report import format_table, format_traffic_row, sparkline
+
+
+class TestFormatTable:
+    def test_header_and_rule(self):
+        out = format_table(["a", "bb"], [[1, 2]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert set(lines[2].replace("  ", " ").strip()) == {"-", " "}
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["x"], ["longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("longer-cell")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456], [1.2e9], [0.0]])
+        assert "1.235" in out
+        assert "1.200e+09" in out
+
+    def test_no_title(self):
+        out = format_table(["a"], [[1]])
+        assert out.splitlines()[0] == "a"
+
+
+class TestTrafficRow:
+    def test_with_expectations(self):
+        row = format_traffic_row("gemm", 2048, 1024, 1024, 1024)
+        assert row[0] == "gemm"
+        assert "2.00 KiB" in row[1]
+        assert "2.00x" in row[4]
+        assert "1.00x" in row[6]
+
+    def test_without_expectations(self):
+        row = format_traffic_row("x", 64, 64)
+        assert len(row) == 3
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        s = sparkline([5.0] * 10)
+        assert len(s) == 10
+        assert len(set(s)) == 1
+
+    def test_peaks_visible(self):
+        s = sparkline([0.0, 0.0, 100.0, 0.0])
+        assert s[2] != s[0]
+
+    def test_resampled_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40

@@ -1,0 +1,120 @@
+"""Multi-component timeline profiler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measure.timeline import MultiComponentProfiler, Step, Timeline, TimelineSample
+
+
+class TestProfiler:
+    def _steps(self, node, traffic=1 << 20, dt=0.01, n=3, label="work"):
+        def run():
+            node.socket(0).record_traffic(read_bytes=traffic,
+                                          write_bytes=traffic // 2)
+            node.advance(dt, background=False)
+
+        return [Step(label, run) for _ in range(n)]
+
+    def test_rates_computed_per_step(self, quiet_summit_papi,
+                                     quiet_summit_node):
+        profiler = MultiComponentProfiler(quiet_summit_papi, socket_id=0)
+        tl = profiler.profile(self._steps(quiet_summit_node))
+        assert len(tl.samples) == 3
+        for s in tl.samples:
+            assert s.mem_read_rate == pytest.approx((1 << 20) / 0.01,
+                                                    rel=0.05)
+            assert s.mem_write_rate == pytest.approx((1 << 19) / 0.01,
+                                                     rel=0.05)
+            assert s.gpu_power_w == pytest.approx(40.0, rel=0.01)
+
+    def test_steps_must_advance_clock(self, quiet_summit_papi):
+        profiler = MultiComponentProfiler(quiet_summit_papi)
+        with pytest.raises(ConfigurationError):
+            profiler.profile([Step("noop", lambda: None)])
+
+    def test_gpu_power_averaged_over_window(self, quiet_summit_papi,
+                                            quiet_summit_node):
+        gpu = quiet_summit_node.gpus_on_socket(0)[0]
+
+        def burst():
+            quiet_summit_node.socket(0).record_traffic(read_bytes=64)
+            gpu.execute(gpu.config.flops * 0.005)  # 5 ms at peak
+            quiet_summit_node.advance(0.005, background=False)
+
+        profiler = MultiComponentProfiler(quiet_summit_papi)
+        tl = profiler.profile([Step("gpu", burst)])
+        # Half the 10 ms window at peak, half idle.
+        expected = (300.0 + 40.0) / 2
+        assert tl.samples[0].gpu_power_w == pytest.approx(expected,
+                                                          rel=0.05)
+
+    def test_network_rate(self, quiet_summit_papi, quiet_summit_node):
+        nic = quiet_summit_node.nics[0]
+
+        def xfer():
+            quiet_summit_node.socket(0).record_traffic(read_bytes=64)
+            nic.record_recv(4 << 20)
+            quiet_summit_node.advance(0.01, background=False)
+
+        profiler = MultiComponentProfiler(quiet_summit_papi)
+        tl = profiler.profile([Step("net", xfer)])
+        assert tl.samples[0].net_recv_rate == pytest.approx(
+            (4 << 20) / 0.01, rel=0.05)
+
+    def test_cpu_power_sampled_from_rapl(self, quiet_summit_papi,
+                                         quiet_summit_node):
+        from repro.papi.components.rapl import IDLE_PACKAGE_W
+
+        profiler = MultiComponentProfiler(quiet_summit_papi)
+        tl = profiler.profile(self._steps(quiet_summit_node, n=1))
+        # Idle socket during the step (work is injected, no busy cores).
+        assert tl.samples[0].cpu_power_w == pytest.approx(IDLE_PACKAGE_W,
+                                                          rel=0.02)
+
+    def test_works_without_devices(self, tellico_papi, tellico_node):
+        profiler = MultiComponentProfiler(tellico_papi, use_pcp=False)
+
+        def run():
+            tellico_node.socket(0).record_traffic(read_bytes=4096)
+            tellico_node.advance(0.001, background=False)
+
+        tl = profiler.profile([Step("cpu-only", run)])
+        assert tl.samples[0].gpu_power_w == 0.0
+        assert tl.samples[0].net_recv_rate == 0.0
+        assert tl.samples[0].mem_read_rate > 0
+
+
+class TestTimeline:
+    def _timeline(self):
+        return Timeline(samples=[
+            TimelineSample("a", 0.0, 1.0, mem_read_rate=10.0,
+                           mem_write_rate=5.0, gpu_power_w=100.0,
+                           net_recv_rate=0.0),
+            TimelineSample("b", 1.0, 3.0, mem_read_rate=1.0,
+                           mem_write_rate=1.0, gpu_power_w=40.0,
+                           net_recv_rate=8.0),
+            TimelineSample("a", 3.0, 4.0, mem_read_rate=20.0,
+                           mem_write_rate=10.0, gpu_power_w=100.0,
+                           net_recv_rate=0.0),
+        ])
+
+    def test_series_and_labels(self):
+        tl = self._timeline()
+        assert tl.series("mem_read_rate") == [10.0, 1.0, 20.0]
+        assert tl.labels() == ["a", "b", "a"]
+
+    def test_phase_selection(self):
+        tl = self._timeline()
+        assert len(tl.phase("a")) == 2
+
+    def test_phase_totals(self):
+        totals = self._timeline().phase_totals()
+        assert totals["a"]["seconds"] == pytest.approx(2.0)
+        assert totals["a"]["read_bytes"] == pytest.approx(30.0)
+        assert totals["b"]["net_recv_bytes"] == pytest.approx(16.0)
+        assert totals["a"]["gpu_energy_j"] == pytest.approx(200.0)
+
+    def test_sample_bytes_properties(self):
+        s = self._timeline().samples[1]
+        assert s.duration == pytest.approx(2.0)
+        assert s.mem_read_bytes == pytest.approx(2.0)

@@ -1,0 +1,122 @@
+"""Coverage for small surfaces: errors, KernelModel defaults, CLI --all,
+GPU power edge cases, report traffic rows."""
+
+import pytest
+
+from repro import errors
+from repro.engine.analytic import CacheContext
+from repro.engine.trace import KernelModel
+from repro.machine.cache import TrafficCounters
+
+
+class TestErrorHierarchy:
+    def test_papi_codes_match_papi_h(self):
+        assert errors.PapiNoEvent.code == -7
+        assert errors.PapiPermissionDenied.code == -8
+        assert errors.PapiNotRunning.code == -9
+        assert errors.PapiIsRunning.code == -10
+        assert errors.PapiNoComponent.code == -20
+
+    def test_privilege_error_is_permission_error(self):
+        # Catchable by generic OS-style handlers.
+        assert issubclass(errors.PrivilegeError, PermissionError)
+        assert issubclass(errors.PrivilegeError, errors.ReproError)
+
+    def test_default_messages(self):
+        exc = errors.PapiNoEvent()
+        assert "does not exist" in str(exc)
+
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "SimulationError", "PCPError",
+                     "PMNSError", "MPIError", "GPUError", "PapiError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+class TestKernelModelDefaults:
+    class Minimal(KernelModel):
+        name = "minimal"
+
+        def streams(self):
+            return []
+
+        def traffic(self, ctx, prefetch=None):
+            return TrafficCounters()
+
+        def flops(self):
+            return 0.0
+
+    def test_compute_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            self.Minimal().compute()
+
+    def test_exact_accesses_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            self.Minimal().exact_accesses()
+
+    def test_expected_traffic_defaults_to_none(self):
+        assert self.Minimal().expected_traffic() is None
+
+    def test_describe(self):
+        assert "minimal" in self.Minimal().describe()
+
+    def test_default_bandwidth_efficiency(self):
+        assert self.Minimal().bandwidth_efficiency() == 1.0
+
+    def test_footprint_from_streams(self):
+        from repro.engine.stream import StreamDecl
+
+        class TwoArrays(self.Minimal):
+            def streams(self):
+                return [
+                    StreamDecl("a", False, 8, 8, 8, 64),
+                    StreamDecl("a", False, 8, 8, 8, 128),  # max wins
+                    StreamDecl("b", True, 8, 8, 8, 256),
+                ]
+
+        assert TwoArrays().footprint_bytes() == 128 + 256
+
+
+class TestCLIAll:
+    def test_runs_every_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["--all"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("[table1]", "[fig2]", "[fig12]", "[ext-spmv]"):
+            assert fragment in out
+
+
+class TestGpuPowerEdges:
+    def test_overlapping_intervals_both_counted(self):
+        from repro.gpu.power import PowerLog
+
+        log = PowerLog(40.0)
+        log.add_interval(0.0, 2.0, 200.0)
+        log.add_interval(1.0, 3.0, 200.0)
+        # Overlap double-counts the excess (two engines busy): energy =
+        # idle*3 + 160*2 + 160*2.
+        assert log.energy_joules(0.0, 3.0) == pytest.approx(
+            40 * 3 + 160 * 2 + 160 * 2)
+
+    def test_zero_length_interval_ignored(self):
+        from repro.gpu.power import PowerLog
+
+        log = PowerLog(40.0)
+        log.add_interval(1.0, 1.0, 300.0)
+        assert log.power_at(1.0) == 40.0
+
+
+class TestTrafficCountersEdges:
+    def test_scaled_rounds(self):
+        assert tuple(TrafficCounters(3, 3).scaled(0.5)) in ((2, 2), (2, 2))
+
+    def test_zero_total(self):
+        assert TrafficCounters().total_bytes == 0
+
+
+class TestCacheContextDefaults:
+    def test_defaults_are_power9(self):
+        ctx = CacheContext(capacity_bytes=1)
+        assert ctx.granule == 64
+        assert ctx.line_bytes == 128
+        assert ctx.spill_extra_fraction == 0.0

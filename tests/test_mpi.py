@@ -1,0 +1,182 @@
+"""Simulated MPI: cluster, placement, collectives, grid, NIC counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.machine.config import NICConfig, SUMMIT, TELLICO
+from repro.mpi.comm import Cluster, SimComm
+from repro.mpi.grid import ProcessorGrid
+from repro.mpi.network import COUNTER_UNIT_BYTES, NICPort
+from repro.noise import QUIET
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(SUMMIT, n_nodes=2, seed=3, noise=QUIET)
+
+
+@pytest.fixture
+def comm(cluster):
+    return SimComm(cluster)
+
+
+class TestCluster:
+    def test_node_count(self, cluster):
+        assert cluster.n_nodes == 2
+
+    def test_lockstep_clocks(self, cluster):
+        cluster.advance_all(0.5)
+        assert all(n.clock == pytest.approx(0.5) for n in cluster.nodes)
+
+    def test_needs_nodes(self):
+        with pytest.raises(MPIError):
+            Cluster(SUMMIT, 0)
+
+    def test_nodes_seeded_independently(self):
+        c = Cluster(SUMMIT, 2, seed=3)
+        c.advance_all(0.1)
+        assert (c.nodes[0].socket(0).memory.total_read_bytes
+                != c.nodes[1].socket(0).memory.total_read_bytes)
+
+
+class TestPlacement:
+    def test_one_rank_per_socket(self, comm):
+        assert comm.size == 4  # 2 nodes x 2 sockets
+        assert comm.placements[1].node_index == 0
+        assert comm.placements[1].socket_id == 1
+        assert comm.placements[2].node_index == 1
+
+    def test_socket_of(self, comm):
+        assert comm.socket_of(3).socket_id == 1
+
+    def test_invalid_ranks_per_node(self, cluster):
+        with pytest.raises(MPIError):
+            SimComm(cluster, ranks_per_node=3)
+
+
+class TestAlltoall:
+    def test_memory_traffic_accounted(self, comm):
+        comm.alltoall_bytes(1000)
+        for rank in range(comm.size):
+            sock = comm.socket_of(rank)
+            # Each rank sends to 3 peers and receives from 3.
+            assert sock.memory.total_read_bytes == 3 * 1024  # rounded
+            assert sock.memory.total_write_bytes == 3 * 1024
+
+    def test_nic_traffic_only_for_internode(self, comm, cluster):
+        comm.alltoall_bytes(1000)
+        node0 = cluster.nodes[0]
+        # Rank 0 sends 1000 B to ranks 2 and 3 (remote); rank 1 also
+        # sends 2x1000 remote -> 4000 octets out of node 0 via 2 NICs.
+        total_xmit = sum(n.xmit_octets for n in node0.nics)
+        assert total_xmit == 4 * 1000
+
+    def test_exchange_advances_clock(self, comm, cluster):
+        before = cluster.clock
+        comm.alltoall_bytes(10_000_000)
+        assert cluster.clock > before
+
+    def test_advance_false_leaves_clock(self, comm, cluster):
+        duration = comm.alltoall_bytes(10_000_000, advance=False)
+        assert duration > 0
+        assert cluster.clock == 0.0
+
+    def test_alltoallv_transpose_semantics(self, comm):
+        n = comm.size
+        chunks = [[np.full(2, 10 * i + j) for j in range(n)]
+                  for i in range(n)]
+        recv = comm.alltoallv(chunks, account=False)
+        for j in range(n):
+            for i in range(n):
+                assert recv[j][i][0] == 10 * i + j
+
+    def test_alltoallv_shape_validation(self, comm):
+        with pytest.raises(MPIError):
+            comm.alltoallv([[np.zeros(1)]])
+
+    def test_barrier_synchronises(self, comm, cluster):
+        cluster.nodes[0].advance(0.5)
+        comm.barrier()
+        assert cluster.nodes[1].clock == pytest.approx(0.5)
+
+
+class TestSubComm:
+    def test_group_alltoall_restricted(self, comm):
+        sub = comm.sub_comm([0, 1])
+        sub.alltoall_bytes(1000)
+        assert comm.socket_of(2).memory.total_read_bytes == 0
+        assert comm.socket_of(0).memory.total_read_bytes > 0
+
+    def test_duplicate_ranks_rejected(self, comm):
+        with pytest.raises(MPIError):
+            comm.sub_comm([0, 0])
+
+    def test_out_of_range_rejected(self, comm):
+        with pytest.raises(MPIError):
+            comm.sub_comm([99])
+
+
+class TestProcessorGrid:
+    def test_paper_grids(self):
+        assert ProcessorGrid(2, 4).size == 8
+        assert ProcessorGrid(4, 8).size == 32
+        assert ProcessorGrid(8, 8).size == 64
+
+    def test_coords_roundtrip(self):
+        grid = ProcessorGrid(4, 8)
+        for rank in range(grid.size):
+            row, col = grid.coords_of(rank)
+            assert grid.rank_of(row, col) == rank
+
+    def test_row_and_col_ranks(self):
+        grid = ProcessorGrid(2, 4)
+        assert grid.row_ranks(0) == [0, 1, 2, 3]
+        assert grid.col_ranks(1) == [1, 5]
+
+    def test_local_shape(self):
+        grid = ProcessorGrid(2, 4)
+        assert grid.local_shape(16) == (8, 4, 16)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MPIError):
+            ProcessorGrid(2, 4).local_shape(10)
+
+    def test_bad_coords(self):
+        grid = ProcessorGrid(2, 4)
+        with pytest.raises(MPIError):
+            grid.coords_of(8)
+        with pytest.raises(MPIError):
+            grid.rank_of(2, 0)
+
+
+class TestNICPort:
+    def test_counter_unit_is_4_bytes(self):
+        nic = NICPort(NICConfig())
+        nic.record_recv(4000)
+        assert nic.port_recv_data == 1000
+        assert COUNTER_UNIT_BYTES == 4
+
+    def test_name_spelling(self):
+        assert NICPort(NICConfig(name="mlx5_1")).name == "mlx5_1_1_ext"
+
+    def test_transfer_time(self):
+        nic = NICPort(NICConfig(bandwidth=1e9))
+        assert nic.transfer_time(1e9) == pytest.approx(1.0)
+
+    def test_windowed_byte_queries(self):
+        nic = NICPort(NICConfig())
+        nic.record_recv(1000, t0=0.0, duration=1.0)
+        assert nic.recv_bytes_between(0.0, 0.5) == 500
+        assert nic.recv_bytes_between(0.0, 2.0) == 1000
+
+    def test_instantaneous_records(self):
+        nic = NICPort(NICConfig())
+        nic.record_xmit(500, t0=1.0)
+        assert nic.xmit_bytes_between(0.9, 1.1) == 500
+        assert nic.xmit_bytes_between(1.1, 2.0) == 0
+
+    def test_negative_rejected(self):
+        nic = NICPort(NICConfig())
+        with pytest.raises(MPIError):
+            nic.record_recv(-1)

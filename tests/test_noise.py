@@ -1,0 +1,124 @@
+"""Noise models: determinism, scaling, and repetition amortisation."""
+
+import pytest
+
+from repro.machine.cache import TrafficCounters
+from repro.noise import QUIET, NoiseConfig, NoiseModel
+
+
+class TestQuiet:
+    def test_quiet_is_completely_silent(self):
+        model = NoiseModel(QUIET, seed=1)
+        assert model.background_traffic(10.0).total_bytes == 0
+        assert model.window_fixed_traffic().total_bytes == 0
+        assert model.per_rep_traffic().total_bytes == 0
+        assert model.capture_factor(1e-9) == 1.0
+
+    def test_quiet_perturb_is_identity(self):
+        model = NoiseModel(QUIET, seed=1)
+        true = TrafficCounters(1000, 500)
+        out = model.perturb(true, runtime_seconds=1e-6, via_pcp=True)
+        assert tuple(out) == (1000, 500)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = NoiseModel(seed=42)
+        b = NoiseModel(seed=42)
+        assert tuple(a.background_traffic(1.0)) == \
+            tuple(b.background_traffic(1.0))
+
+    def test_different_seeds_differ(self):
+        a = NoiseModel(seed=1)
+        b = NoiseModel(seed=2)
+        assert tuple(a.background_traffic(1.0)) != \
+            tuple(b.background_traffic(1.0))
+
+
+class TestBackground:
+    def test_scales_with_window(self):
+        model = NoiseModel(NoiseConfig(background_sigma=0.0), seed=1)
+        short = model.background_traffic(0.1)
+        long = model.background_traffic(1.0)
+        assert long.read_bytes == pytest.approx(10 * short.read_bytes,
+                                                rel=0.01)
+
+    def test_zero_window(self):
+        assert NoiseModel(seed=1).background_traffic(0.0).total_bytes == 0
+
+    def test_mean_one_jitter(self):
+        # Lognormal jitter is mean-one: long-run average tracks the rate.
+        cfg = NoiseConfig()
+        model = NoiseModel(cfg, seed=7)
+        n = 3000
+        total = sum(model.background_traffic(1.0).read_bytes
+                    for _ in range(n)) / n
+        assert total == pytest.approx(cfg.background_read_rate, rel=0.1)
+
+
+class TestCaptureJitter:
+    def test_shrinks_with_runtime(self):
+        cfg = NoiseConfig()
+        short_sd = _factor_sd(cfg, runtime=1e-6)
+        long_sd = _factor_sd(cfg, runtime=1.0)
+        assert long_sd < short_sd / 10
+
+    def test_never_negative(self):
+        model = NoiseModel(seed=3)
+        assert all(model.capture_factor(1e-9) >= 0.0 for _ in range(2000))
+
+
+def _factor_sd(cfg, runtime, n=2000):
+    model = NoiseModel(cfg, seed=5)
+    samples = [model.capture_factor(runtime) for _ in range(n)]
+    mean = sum(samples) / n
+    return (sum((s - mean) ** 2 for s in samples) / n) ** 0.5
+
+
+class TestPerturb:
+    def test_repetitions_amortise_window_noise(self):
+        cfg = NoiseConfig(capture_sigma0=0.0, background_sigma=0.0,
+                          per_rep_read_bytes=0.0, per_rep_write_bytes=0.0)
+        true = TrafficCounters(10_000, 5_000)
+        single = NoiseModel(cfg, seed=1).perturb(true, 1e-6, via_pcp=True,
+                                                 repetitions=1)
+        many = NoiseModel(cfg, seed=1).perturb(true, 1e-6, via_pcp=True,
+                                               repetitions=500)
+        err_single = single.read_bytes - true.read_bytes
+        err_many = many.read_bytes - true.read_bytes
+        assert err_many < err_single / 10
+
+    def test_per_rep_overhead_not_amortised(self):
+        cfg = NoiseConfig(capture_sigma0=0.0, background_sigma=0.0,
+                          background_read_rate=0.0,
+                          background_write_rate=0.0,
+                          fixed_read_bytes=0.0, fixed_write_bytes=0.0,
+                          per_rep_read_bytes=1000.0,
+                          per_rep_write_bytes=2000.0)
+        true = TrafficCounters(0, 0)
+        out = NoiseModel(cfg, seed=1).perturb(true, 1e-6, via_pcp=False,
+                                              repetitions=100)
+        assert out.read_bytes == pytest.approx(1000, rel=0.01)
+        assert out.write_bytes == pytest.approx(2000, rel=0.01)
+
+    def test_pcp_window_longer_than_direct(self):
+        cfg = NoiseConfig(capture_sigma0=0.0, background_sigma=0.0,
+                          fixed_read_bytes=0.0, fixed_write_bytes=0.0,
+                          per_rep_read_bytes=0.0, per_rep_write_bytes=0.0)
+        true = TrafficCounters(0, 0)
+        pcp = NoiseModel(cfg, seed=1).perturb(true, 0.0, via_pcp=True)
+        direct = NoiseModel(cfg, seed=1).perturb(true, 0.0, via_pcp=False)
+        assert pcp.read_bytes > direct.read_bytes
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            NoiseModel(seed=1).perturb(TrafficCounters(), 1.0, True,
+                                       repetitions=0)
+
+
+class TestWindowOverhead:
+    def test_config_selection(self):
+        cfg = NoiseConfig()
+        assert cfg.window_overhead(True) == cfg.window_overhead_pcp
+        assert cfg.window_overhead(False) == cfg.window_overhead_direct
+        assert cfg.window_overhead_pcp > cfg.window_overhead_direct

@@ -1,0 +1,106 @@
+"""End-to-end tests of the paper's headline claims (Conclusion, §V).
+
+Each test names the claim it pins. These run the full stack —
+simulated hardware, PCP daemon, PAPI components, kernels — exactly as
+a user of the library would.
+"""
+
+import pytest
+
+from repro.kernels.blas import Gemm
+from repro.errors import PapiPermissionDenied
+from repro.measure.repetition import repetitions_for
+from repro.measure.session import MeasurementSession
+
+SEED = 777
+
+
+class TestClaimPCPAccuracy:
+    """"Memory traffic measurements from the PAPI PCP component are as
+    accurate as those measured directly from the perf_uncore counters."
+    """
+
+    def test_same_kernel_same_shape_via_both_paths(self):
+        pcp = MeasurementSession("summit", via="pcp", seed=SEED)
+        direct = MeasurementSession("tellico", via="perf_event_uncore",
+                                    seed=SEED)
+        for n in (512, 2048):
+            cores_p = pcp.batch_core_count()
+            cores_d = direct.batch_core_count()
+            reps = repetitions_for(n)
+            a = pcp.measure_kernel(Gemm(n), n_cores=cores_p,
+                                   repetitions=reps)
+            b = direct.measure_kernel(Gemm(n), n_cores=cores_d,
+                                      repetitions=reps)
+            # Per-core read ratios agree within a few percent.
+            assert a.read_ratio == pytest.approx(b.read_ratio, rel=0.15)
+
+
+class TestClaimRepetitionsAmortiseNoise:
+    """"Adapting the number of successive executions of performance-
+    critical kernels serves as a technique to accurately measure memory
+    traffic."""
+
+    def test_adaptive_reps_reduce_error_at_small_sizes(self):
+        session = MeasurementSession("summit", seed=SEED)
+        n = 96
+        one = session.measure_kernel(Gemm(n), repetitions=1)
+        many = session.measure_kernel(Gemm(n),
+                                      repetitions=repetitions_for(n))
+        err_one = abs(one.read_ratio - 1.0)
+        err_many = abs(many.read_ratio - 1.0)
+        assert err_many < err_one
+
+    def test_small_kernels_noisy_regardless_of_path(self):
+        """"Measuring the memory traffic of small kernels ... leads to
+        measurements fraught with noise, regardless of the measuring
+        infrastructure or architecture."""
+        for machine in ("summit", "tellico", "skylake"):
+            session = MeasurementSession(machine, seed=SEED)
+            r = session.measure_kernel(Gemm(48), repetitions=1)
+            assert abs(r.read_ratio - 1.0) > 0.25, machine
+
+
+class TestClaimPrivilegeGate:
+    """PCP "enables all PAPI users to monitor nest hardware events from
+    user space without elevated privileges"."""
+
+    def test_unprivileged_direct_access_fails_pcp_succeeds(self):
+        session = MeasurementSession("summit", via="perf_event_uncore",
+                                     seed=SEED)
+        with pytest.raises(PapiPermissionDenied):
+            session.measure_kernel(Gemm(64))
+        pcp_session = MeasurementSession("summit", via="pcp", seed=SEED)
+        result = pcp_session.measure_kernel(Gemm(64))
+        assert result.measured.total_bytes > 0
+
+
+class TestClaimBatchingIsolatesSlices:
+    """"It is useful ... to account for such peculiarities by executing
+    a batch of kernels" — batched kernels pin each core to its 5 MB
+    share, making measurements match expectations."""
+
+    def test_batched_matches_better_than_single_below_boundary(self):
+        session = MeasurementSession("summit", seed=SEED)
+        n = 720  # below the per-core boundary of ~809
+        reps = repetitions_for(n)
+        single = session.measure_kernel(Gemm(n), n_cores=1,
+                                        repetitions=reps)
+        batched = session.measure_kernel(
+            Gemm(n), n_cores=session.batch_core_count(), repetitions=reps)
+        assert abs(batched.read_ratio - 1.0) < abs(single.read_ratio - 1.0)
+
+
+class TestClaimSkylakeGeneralises:
+    """"We also reproduced this behavior on an Intel Skylake
+    architecture ... neither a PCP-related nor POWER9-specific
+    phenomenon." (Extraneous capped-GEMV write traffic.)"""
+
+    def test_capped_gemv_write_excess_on_skylake(self):
+        from repro.kernels.blas import CappedGemv
+
+        session = MeasurementSession("skylake", seed=SEED)
+        k = CappedGemv(m=1024, n=1024, p=1024)
+        r = session.measure_kernel(k, n_cores=8, repetitions=50)
+        assert r.write_ratio > 1.3
+        assert r.read_ratio == pytest.approx(1.0, abs=0.3)

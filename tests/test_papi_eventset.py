@@ -1,0 +1,160 @@
+"""PAPI event-set state machine and counting semantics."""
+
+import pytest
+
+from repro.errors import (
+    PapiInvalidArgument,
+    PapiIsRunning,
+    PapiNotRunning,
+)
+from repro.papi.consts import PAPI_RUNNING, PAPI_STOPPED
+
+PCP_READ = ("pcp:::perfevent.hwcounters.nest_mba0_imc."
+            "PM_MBA0_READ_BYTES.value:cpu87")
+PCP_WRITE = ("pcp:::perfevent.hwcounters.nest_mba0_imc."
+             "PM_MBA0_WRITE_BYTES.value:cpu87")
+
+
+class TestStateMachine:
+    def test_initial_state_stopped(self, summit_papi):
+        es = summit_papi.create_eventset()
+        assert es.state == PAPI_STOPPED
+        assert not es.running
+
+    def test_start_requires_events(self, summit_papi):
+        es = summit_papi.create_eventset()
+        with pytest.raises(PapiInvalidArgument):
+            es.start()
+
+    def test_start_stop_cycle(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        assert es.state == PAPI_RUNNING
+        es.stop()
+        assert es.state == PAPI_STOPPED
+
+    def test_double_start_rejected(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        with pytest.raises(PapiIsRunning):
+            es.start()
+
+    def test_read_requires_running(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        with pytest.raises(PapiNotRunning):
+            es.read()
+
+    def test_stop_requires_running(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        with pytest.raises(PapiNotRunning):
+            es.stop()
+
+    def test_add_while_running_rejected(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        with pytest.raises(PapiIsRunning):
+            es.add_event(PCP_WRITE)
+
+    def test_cleanup(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.cleanup()
+        assert len(es) == 0
+        assert es.component is None
+
+    def test_cleanup_while_running_rejected(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        with pytest.raises(PapiIsRunning):
+            es.cleanup()
+
+
+class TestCounting:
+    def test_counts_are_relative_to_start(self, quiet_summit_papi,
+                                          quiet_summit_node):
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64 * 100)
+        es = quiet_summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64)
+        values = es.stop()
+        assert values[0] == 64  # only the delta, channel 0's share
+
+    def test_reset_rezeroes(self, quiet_summit_papi, quiet_summit_node):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64)
+        es.reset()
+        assert es.read()[0] == 0
+
+    def test_pcp_window_admits_background_noise(self, summit_papi,
+                                                summit_node):
+        # On a *noisy* node, the PCP round trips themselves advance the
+        # clock, so background traffic lands inside the window — the
+        # measurement overhead the paper quantifies.
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        es.start()
+        values = es.stop()
+        assert values[0] > 0
+
+    def test_read_dict_keys(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_events([PCP_READ, PCP_WRITE])
+        es.start()
+        values = es.read_dict()
+        assert set(values) == {PCP_READ, PCP_WRITE}
+
+    def test_instance_selects_socket(self, quiet_summit_papi,
+                                     quiet_summit_node):
+        other = ("pcp:::perfevent.hwcounters.nest_mba0_imc."
+                 "PM_MBA0_READ_BYTES.value:cpu175")
+        es = quiet_summit_papi.create_eventset()
+        es.add_events([PCP_READ, other])
+        es.start()
+        quiet_summit_node.socket(1).record_traffic(read_bytes=8 * 64)
+        values = es.stop_dict()
+        assert values[PCP_READ] == 0
+        assert values[other] == 64
+
+
+class TestComponentBinding:
+    def test_single_component_per_eventset(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        nvml_event = summit_papi.component("nvml").list_events()[0]
+        with pytest.raises(PapiInvalidArgument):
+            es.add_event(nvml_event)
+
+    def test_component_property(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_event(PCP_READ)
+        assert es.component.name == "pcp"
+
+    def test_pcp_batched_read_single_round_trip(self, summit_papi):
+        es = summit_papi.create_eventset()
+        es.add_events([PCP_READ, PCP_WRITE])
+        component = summit_papi.component("pcp")
+        before = component.context.round_trips
+        es.start()
+        after_start = component.context.round_trips
+        # One batched fetch, regardless of event count.
+        assert after_start - before == 1
+
+
+class TestInstantaneousEvents:
+    def test_nvml_power_is_gauge(self, summit_papi, summit_node):
+        event = summit_papi.component("nvml").list_events()[0]
+        es = summit_papi.create_eventset()
+        es.add_event(event)
+        es.start()
+        # Idle power in mW, not a zero delta.
+        idle_mw = int(summit_node.config.gpu.idle_power_w * 1000)
+        assert es.read()[0] == idle_mw

@@ -1,0 +1,88 @@
+"""PAPI high-level region API."""
+
+import pytest
+
+from repro.errors import PapiInvalidArgument
+from repro.papi.hl import HighLevelApi
+from repro.pmu.events import all_pcp_events
+
+TRAFFIC = 8 * 64  # one transaction per channel
+
+
+@pytest.fixture
+def hl(quiet_summit_papi, quiet_summit_node):
+    events = all_pcp_events(quiet_summit_node.config, 0)
+    return HighLevelApi(quiet_summit_papi, events=events)
+
+
+def _work(node, reads=TRAFFIC, dt=1e-3):
+    node.socket(0).record_traffic(read_bytes=reads)
+    node.advance(dt, background=False)
+
+
+class TestRegions:
+    def test_single_region_counts(self, hl, quiet_summit_node):
+        with hl.region("r"):
+            _work(quiet_summit_node)
+        report = hl.report()
+        assert report["r"]["instances"] == 1
+        read_total = sum(v for k, v in report["r"].items()
+                         if "READ" in k)
+        assert read_total == TRAFFIC
+        assert report["r"]["seconds"] == pytest.approx(1e-3)
+
+    def test_instances_accumulate(self, hl, quiet_summit_node):
+        for _ in range(3):
+            with hl.region("loop"):
+                _work(quiet_summit_node)
+        report = hl.report()
+        assert report["loop"]["instances"] == 3
+        read_total = sum(v for k, v in report["loop"].items()
+                         if "READ" in k)
+        assert read_total == 3 * TRAFFIC
+
+    def test_nested_regions_both_counted(self, hl, quiet_summit_node):
+        with hl.region("outer"):
+            _work(quiet_summit_node)
+            with hl.region("inner"):
+                _work(quiet_summit_node)
+        report = hl.report()
+        outer = sum(v for k, v in report["outer"].items() if "READ" in k)
+        inner = sum(v for k, v in report["inner"].items() if "READ" in k)
+        assert inner == TRAFFIC
+        assert outer == 2 * TRAFFIC  # outer sees inner's traffic too
+
+    def test_mismatched_end_rejected(self, hl):
+        hl.region_begin("a")
+        with pytest.raises(PapiInvalidArgument):
+            hl.region_end("b")
+
+    def test_end_without_begin_rejected(self, hl):
+        with pytest.raises(PapiInvalidArgument):
+            hl.region_end("nothing")
+
+    def test_stop_with_open_region_rejected(self, hl):
+        hl.region_begin("open")
+        with pytest.raises(PapiInvalidArgument):
+            hl.stop()
+
+    def test_stop_after_close(self, hl, quiet_summit_node):
+        with hl.region("r"):
+            _work(quiet_summit_node)
+        hl.stop()  # no raise
+
+    def test_needs_events(self, quiet_summit_papi):
+        with pytest.raises(PapiInvalidArgument):
+            HighLevelApi(quiet_summit_papi, events=[])
+
+    def test_region_needs_name(self, hl):
+        with pytest.raises(PapiInvalidArgument):
+            hl.region_begin("")
+
+    def test_mean_helper(self, hl, quiet_summit_node):
+        for _ in range(2):
+            with hl.region("m"):
+                _work(quiet_summit_node)
+        stats = hl.regions["m"]
+        event = [e for e in hl.events if "MBA0_READ" in e][0]
+        assert stats.mean(event) == 64.0

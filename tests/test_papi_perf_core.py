@@ -1,0 +1,96 @@
+"""perf_event core-private component and arithmetic-intensity pairing."""
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.errors import PapiNoEvent
+from repro.kernels.blas import Gemm
+from repro.machine.config import SUMMIT
+from repro.machine.node import Node
+from repro.noise import QUIET
+from repro.papi import library_init
+from repro.pcp import start_pmcd_for_node
+from repro.pmu.events import all_pcp_events
+
+
+@pytest.fixture
+def node():
+    return Node(SUMMIT, seed=4, noise=QUIET)
+
+
+@pytest.fixture
+def papi(node):
+    return library_init(node, pmcd=start_pmcd_for_node(node))
+
+
+class TestComponent:
+    def test_registered_everywhere(self, papi):
+        assert "perf_event" in papi.component_names()
+        available, _ = papi.component("perf_event").is_available()
+        assert available  # core events need no privilege
+
+    def test_event_listing(self, papi, node):
+        events = papi.component("perf_event").list_events()
+        n_cores = node.config.n_sockets * node.config.socket.n_cores
+        assert len(events) == 3 * n_cores
+        assert "perf::fp_ops:cpu=0" in events
+
+    def test_unknown_event(self, papi):
+        with pytest.raises(PapiNoEvent):
+            papi.component("perf_event").open_event("perf::branches:cpu=0")
+
+    def test_cpu_out_of_range(self, papi):
+        with pytest.raises(PapiNoEvent):
+            papi.component("perf_event").open_event("perf::cycles:cpu=99")
+
+    def test_default_cpu_is_zero(self, papi, node):
+        handle = papi.component("perf_event").open_event("perf::cycles")
+        node.core(0).retire_work(flops=0, seconds=1.0)
+        assert handle.read() == int(node.config.socket.core_frequency_hz)
+
+
+class TestCounting:
+    def test_executor_retires_work_per_core(self, node, papi):
+        kernel = Gemm(64)
+        es = papi.create_eventset()
+        es.add_events(["perf::fp_ops:cpu=0", "perf::fp_ops:cpu=1"])
+        es.start()
+        Executor(node).run(kernel, n_cores=2, noisy=False)
+        flops = es.stop()
+        assert flops[0] == int(kernel.flops())
+        assert flops[1] == int(kernel.flops())
+
+    def test_cycles_track_runtime(self, node, papi):
+        es = papi.create_eventset()
+        es.add_event("perf::cycles:cpu=0")
+        es.start()
+        record = Executor(node).run(Gemm(128), noisy=False)
+        cycles = es.stop()[0]
+        expected = record.runtime_per_rep * node.config.socket.core_frequency_hz
+        assert cycles == pytest.approx(expected, rel=0.01)
+
+    def test_unused_cores_stay_silent(self, node, papi):
+        es = papi.create_eventset()
+        es.add_event("perf::fp_ops:cpu=5")
+        es.start()
+        Executor(node).run(Gemm(64), n_cores=1, noisy=False)
+        assert es.stop()[0] == 0
+
+
+class TestArithmeticIntensity:
+    def test_flops_via_core_bytes_via_pcp(self, node, papi):
+        """The ref.-[9] workflow: unprivileged core FLOPs + PCP bytes."""
+        kernel = Gemm(256)
+        core_es = papi.create_eventset()
+        core_es.add_event("perf::fp_ops:cpu=0")
+        mem_es = papi.create_eventset()
+        mem_es.add_events(all_pcp_events(node.config, 0))
+        core_es.start()
+        mem_es.start()
+        Executor(node).run(kernel, n_cores=1, noisy=False)
+        flops = core_es.stop()[0]
+        traffic = sum(mem_es.stop())
+        intensity = flops / traffic
+        nn = 256 * 256
+        expected = (2 * 256 ** 3) / (4 * nn * 8)  # flops / (3R+1W bytes)
+        assert intensity == pytest.approx(expected, rel=0.02)

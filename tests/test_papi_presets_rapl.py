@@ -1,0 +1,120 @@
+"""Preset events and the RAPL package-energy component."""
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.errors import PapiNoEvent
+from repro.kernels.blas import Gemm
+from repro.papi.components.rapl import IDLE_PACKAGE_W, PER_CORE_W
+from repro.papi.presets import (
+    PRESETS,
+    PresetEventSet,
+    available_presets,
+    resolve_preset,
+)
+
+
+class TestPresetTable:
+    def test_standard_presets_present(self):
+        for name in ("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS"):
+            assert PRESETS[name].standard
+
+    def test_mem_bytes_marked_nonstandard(self):
+        assert not PRESETS["PAPI_MEM_BYTES"].standard
+        assert PRESETS["PAPI_MEM_BYTES"].derivation == "DERIVED_ADD"
+
+    def test_all_presets_available_on_summit(self, quiet_summit_papi):
+        assert available_presets(quiet_summit_papi) == sorted(PRESETS)
+
+    def test_unknown_preset(self, quiet_summit_papi):
+        with pytest.raises(PapiNoEvent):
+            resolve_preset(quiet_summit_papi, "PAPI_L1_DCM")
+
+
+class TestPresetMeasurement:
+    def test_fp_ops_counts_kernel_flops(self, quiet_summit_papi,
+                                        quiet_summit_node):
+        pes = PresetEventSet(quiet_summit_papi, ["PAPI_FP_OPS"])
+        pes.start()
+        kernel = Gemm(128)
+        Executor(quiet_summit_node).run(kernel, noisy=False)
+        assert pes.stop()["PAPI_FP_OPS"] == int(kernel.flops())
+
+    def test_mem_bytes_sums_all_channels(self, quiet_summit_papi,
+                                         quiet_summit_node):
+        pes = PresetEventSet(quiet_summit_papi, ["PAPI_MEM_BYTES"])
+        pes.start()
+        quiet_summit_node.socket(0).record_traffic(read_bytes=8 * 64 * 7,
+                                                   write_bytes=8 * 64 * 3)
+        assert pes.stop()["PAPI_MEM_BYTES"] == 8 * 64 * 10
+
+    def test_mixed_component_presets_together(self, quiet_summit_papi,
+                                              quiet_summit_node):
+        pes = PresetEventSet(quiet_summit_papi,
+                             ["PAPI_FP_OPS", "PAPI_MEM_BYTES"])
+        pes.start()
+        kernel = Gemm(96)
+        Executor(quiet_summit_node).run(kernel, noisy=False)
+        values = pes.stop()
+        assert values["PAPI_FP_OPS"] == int(kernel.flops())
+        assert values["PAPI_MEM_BYTES"] > 0
+
+    def test_empty_presets_rejected(self, quiet_summit_papi):
+        with pytest.raises(PapiNoEvent):
+            PresetEventSet(quiet_summit_papi, [])
+
+
+class TestRapl:
+    def test_event_naming(self, quiet_summit_papi):
+        events = quiet_summit_papi.component("rapl").list_events()
+        assert events == ["rapl:::PACKAGE_ENERGY:PACKAGE0",
+                          "rapl:::PACKAGE_ENERGY:PACKAGE1"]
+
+    def test_idle_power_integrates(self, quiet_summit_papi,
+                                   quiet_summit_node):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+        es.start()
+        quiet_summit_node.advance(0.5, background=False)
+        uj = es.stop()[0]
+        assert uj == pytest.approx(IDLE_PACKAGE_W * 0.5 * 1e6, rel=0.01)
+
+    def test_dynamic_power_tracks_busy_cores(self, quiet_summit_papi,
+                                             quiet_summit_node):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+        es.start()
+        record = Executor(quiet_summit_node).run(Gemm(512), n_cores=10,
+                                                 noisy=False)
+        watts = es.stop()[0] / 1e6 / record.runtime_per_rep
+        assert watts == pytest.approx(IDLE_PACKAGE_W + 10 * PER_CORE_W,
+                                      rel=0.01)
+
+    def test_counter_is_monotonic(self, quiet_summit_papi,
+                                  quiet_summit_node):
+        handle = quiet_summit_papi.component("rapl").open_event(
+            "rapl:::PACKAGE_ENERGY:PACKAGE0")
+        first = handle.read()
+        quiet_summit_node.advance(0.1, background=False)
+        assert handle.read() > first
+
+    def test_bad_package(self, quiet_summit_papi):
+        with pytest.raises(PapiNoEvent):
+            quiet_summit_papi.component("rapl").open_event(
+                "rapl:::PACKAGE_ENERGY:PACKAGE9")
+
+    def test_sockets_independent(self, quiet_summit_papi,
+                                 quiet_summit_node):
+        es = quiet_summit_papi.create_eventset()
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE1")
+        es.start()
+        Executor(quiet_summit_node).run(Gemm(256), socket_id=0,
+                                        n_cores=21, noisy=False)
+        record = Executor(quiet_summit_node).run(Gemm(256), socket_id=1,
+                                                 n_cores=1, noisy=False)
+        # Package 1 saw only its own single-core run (plus idle during
+        # socket 0's run — both advances tick both packages' idle).
+        total_t = 2 * record.runtime_per_rep
+        expected = (IDLE_PACKAGE_W * total_t
+                    + PER_CORE_W * 1 * record.runtime_per_rep) * 1e6
+        assert es.stop()[0] == pytest.approx(expected, rel=0.05)

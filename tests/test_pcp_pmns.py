@@ -1,0 +1,95 @@
+"""PMNS namespace tree."""
+
+import pytest
+
+from repro.errors import PMNSError
+from repro.pcp.pmns import PMNS
+
+
+@pytest.fixture
+def pmns():
+    tree = PMNS()
+    tree.register("perfevent.hwcounters.a.value", 1)
+    tree.register("perfevent.hwcounters.b.value", 2)
+    tree.register("kernel.all.load", 3)
+    return tree
+
+
+class TestLookup:
+    def test_lookup(self, pmns):
+        assert pmns.lookup("perfevent.hwcounters.a.value") == 1
+        assert pmns.lookup("kernel.all.load") == 3
+
+    def test_unknown_name(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.lookup("perfevent.hwcounters.c.value")
+
+    def test_non_leaf_lookup_fails(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.lookup("perfevent.hwcounters")
+
+    def test_name_of(self, pmns):
+        assert pmns.name_of(2) == "perfevent.hwcounters.b.value"
+        with pytest.raises(PMNSError):
+            pmns.name_of(99)
+
+    def test_contains(self, pmns):
+        assert "kernel.all.load" in pmns
+        assert "kernel.all" not in pmns
+
+    def test_len(self, pmns):
+        assert len(pmns) == 3
+
+
+class TestChildren:
+    def test_root_children(self, pmns):
+        assert pmns.children() == [("kernel", False), ("perfevent", False)]
+
+    def test_leaf_flags(self, pmns):
+        assert pmns.children("perfevent.hwcounters.a") == [("value", True)]
+
+    def test_unknown_prefix(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.children("nosuch")
+
+
+class TestTraverse:
+    def test_traverse_all(self, pmns):
+        assert list(pmns.traverse()) == [
+            "kernel.all.load",
+            "perfevent.hwcounters.a.value",
+            "perfevent.hwcounters.b.value",
+        ]
+
+    def test_traverse_subtree(self, pmns):
+        assert list(pmns.traverse("perfevent")) == [
+            "perfevent.hwcounters.a.value",
+            "perfevent.hwcounters.b.value",
+        ]
+
+
+class TestRegistration:
+    def test_reregister_same_pmid_ok(self, pmns):
+        pmns.register("perfevent.hwcounters.a.value", 1)
+
+    def test_conflicting_pmid_rejected(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.register("perfevent.hwcounters.a.value", 9)
+
+    def test_pmid_reuse_rejected(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.register("other.metric", 1)
+
+    def test_leaf_cannot_become_interior(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.register("kernel.all.load.sub", 10)
+
+    def test_interior_cannot_become_leaf(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.register("kernel.all", 11)
+
+    def test_malformed_names(self, pmns):
+        with pytest.raises(PMNSError):
+            pmns.register("", 12)
+        with pytest.raises(PMNSError):
+            pmns.register("a..b", 13)

@@ -1,0 +1,95 @@
+"""Stride detector and software-prefetch model."""
+
+from repro.machine.config import PrefetchConfig
+from repro.machine.prefetch import SoftwarePrefetch, StreamDetector
+
+
+class TestStreamDetector:
+    def test_sequential_stream_detected(self):
+        d = StreamDetector()
+        for i in range(6):
+            d.observe("a", i * 8)
+        assert d.is_detected("a")
+
+    def test_strided_stream_detected(self):
+        d = StreamDetector()
+        for i in range(6):
+            d.observe("b", i * 4096)
+        assert d.is_detected("b")
+
+    def test_below_threshold_not_detected(self):
+        d = StreamDetector(PrefetchConfig(detect_threshold=4))
+        for i in range(3):
+            d.observe("a", i * 8)
+        assert not d.is_detected("a")
+
+    def test_irregular_stride_not_detected(self):
+        d = StreamDetector()
+        for addr in (0, 8, 100, 9000, 9008, 40):
+            d.observe("a", addr)
+        assert not d.is_detected("a")
+
+    def test_repeated_address_not_detected(self):
+        d = StreamDetector()
+        for _ in range(10):
+            d.observe("a", 64)
+        assert not d.is_detected("a")
+
+    def test_observe_regular_fast_path(self):
+        d = StreamDetector()
+        d.observe_regular("x", stride_bytes=1024, n_accesses=100)
+        assert d.is_detected("x")
+
+    def test_observe_regular_too_short(self):
+        d = StreamDetector()
+        d.observe_regular("x", stride_bytes=1024, n_accesses=2)
+        assert not d.is_detected("x")
+
+    def test_zero_stride_regular_not_detected(self):
+        d = StreamDetector()
+        d.observe_regular("x", stride_bytes=0, n_accesses=100)
+        assert not d.is_detected("x")
+
+    def test_any_strided_ignores_unit_stride(self):
+        # Sequential (unit-stride) streams must NOT gate the store
+        # bypass; only truly strided streams do.
+        d = StreamDetector()
+        d.observe_regular("seq", stride_bytes=8, n_accesses=100)
+        assert d.is_detected("seq")
+        assert not d.any_strided_detected(elem_size_hint=8)
+        d.observe_regular("strided", stride_bytes=512, n_accesses=100)
+        assert d.any_strided_detected(elem_size_hint=8)
+
+    def test_table_capacity_bounded(self):
+        d = StreamDetector(PrefetchConfig(max_streams=4))
+        for i in range(20):
+            d.observe(f"s{i}", 0)
+        assert len(d._streams) <= 4
+
+    def test_reset(self):
+        d = StreamDetector()
+        d.observe_regular("x", 64, 100)
+        d.reset()
+        assert not d.is_detected("x")
+
+    def test_detected_streams_listing(self):
+        d = StreamDetector()
+        d.observe_regular("x", 64, 100)
+        d.observe_regular("y", 8, 2)
+        assert d.detected_streams() == ["x"]
+
+
+class TestSoftwarePrefetch:
+    def test_from_flag_string(self):
+        pf = SoftwarePrefetch.from_compiler_flags("-O2 -fprefetch-loop-arrays")
+        assert pf.dcbt and pf.dcbtst
+        assert pf.forces_store_read
+
+    def test_without_flag(self):
+        pf = SoftwarePrefetch.from_compiler_flags("-O2")
+        assert not pf.dcbt and not pf.dcbtst
+        assert not pf.forces_store_read
+
+    def test_flag_must_match_exactly(self):
+        pf = SoftwarePrefetch.from_compiler_flags("-fprefetch-loop-arraysX")
+        assert not pf.dcbtst

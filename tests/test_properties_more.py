@@ -1,0 +1,103 @@
+"""Additional property-based tests (devices, collectives, kernels)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.analytic import CacheContext
+from repro.engine.exact import ExactEngine
+from repro.gpu.power import PowerLog
+from repro.kernels.blas import CappedGemv
+from repro.kernels.stream import StreamKernel
+from repro.machine.config import CacheConfig
+from repro.mpi.grid import ProcessorGrid
+from repro.qmc.vmc import VMC
+from repro.qmc.wavefunction import HarmonicOscillator
+from repro.units import MIB
+
+
+class TestPowerLogProperties:
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.001, 10),
+                              st.floats(50, 300)),
+                    min_size=0, max_size=10))
+    @settings(max_examples=50)
+    def test_energy_additive_over_partitions(self, intervals):
+        log = PowerLog(40.0)
+        for t0, dur, w in intervals:
+            log.add_interval(t0, t0 + dur, w)
+        total = log.energy_joules(0.0, 200.0)
+        split = (log.energy_joules(0.0, 77.0)
+                 + log.energy_joules(77.0, 200.0))
+        assert abs(total - split) < 1e-6 * max(1.0, abs(total))
+
+    @given(st.floats(0, 100), st.floats(0, 100))
+    @settings(max_examples=50)
+    def test_power_never_below_idle(self, t0, t1):
+        log = PowerLog(40.0)
+        log.add_interval(10.0, 20.0, 250.0)
+        assert log.power_at(t0) >= 40.0
+        lo, hi = min(t0, t1), max(t0, t1)
+        if hi > lo:
+            assert log.average_power(lo, hi) >= 40.0 - 1e-9
+
+
+class TestGridProperties:
+    @given(st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=50)
+    def test_rank_coordinate_bijection(self, r, c):
+        grid = ProcessorGrid(r, c)
+        seen = set()
+        for rank in range(grid.size):
+            coords = grid.coords_of(rank)
+            assert grid.rank_of(*coords) == rank
+            seen.add(coords)
+        assert len(seen) == grid.size
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_rows_and_columns_partition_ranks(self, r, c):
+        grid = ProcessorGrid(r, c)
+        from_rows = sorted(x for i in range(r) for x in grid.row_ranks(i))
+        from_cols = sorted(x for j in range(c) for x in grid.col_ranks(j))
+        assert from_rows == list(range(grid.size))
+        assert from_cols == list(range(grid.size))
+
+
+class TestKernelLawProperties:
+    @given(st.sampled_from(["copy", "scale", "add", "triad"]),
+           st.integers(64, 1024))
+    @settings(max_examples=20, deadline=None)
+    def test_stream_exact_equals_analytic(self, op, n):
+        kernel = StreamKernel(op, n)
+        engine = ExactEngine(CacheConfig(capacity_bytes=MIB))
+        exact = engine.run_nest(kernel.streams(), kernel.exact_accesses())
+        analytic = kernel.traffic(CacheContext(capacity_bytes=MIB))
+        assert tuple(exact) == tuple(analytic)
+
+    @given(st.integers(1, 64), st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_capped_gemv_law_bounds(self, m, n, p):
+        if p > m:
+            p = m
+        kernel = CappedGemv(m=m, n=n, p=p)
+        ctx = CacheContext(capacity_bytes=5 * MIB)
+        law = kernel.traffic(ctx)
+        expected = kernel.expected_traffic()
+        # The law never reads less than the cold footprint and never
+        # more than the streaming expectation (granule-rounded).
+        assert law.read_bytes >= kernel.p * kernel.n * 8
+        assert law.read_bytes <= expected.read_bytes + 3 * 64
+        # Writes are exactly y (granule rounded) under write-allocate.
+        assert abs(law.write_bytes - m * 8) < 64 + 1
+
+
+class TestQMCProperties:
+    @given(st.floats(0.5, 2.5))
+    @settings(max_examples=10, deadline=None)
+    def test_vmc_energy_above_ground_state(self, alpha):
+        """Variational principle: <E>(α) >= E0 for every trial."""
+        psi = HarmonicOscillator(alpha=round(alpha, 3))
+        sampler = VMC(psi, n_walkers=1024, seed=11)
+        sampler.run(n_blocks=3, steps_per_block=10, warmup_blocks=1)
+        stats = sampler.block(10)
+        assert stats.energy >= 1.5 - 4 * max(stats.error_bar, 1e-9)

@@ -1,0 +1,175 @@
+"""QMC physics: wavefunctions, VMC, DMC, and the instrumented app."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.config import SUMMIT
+from repro.noise import QUIET
+from repro.qmc.app import QMCPACKApp
+from repro.qmc.dmc import DMC
+from repro.qmc.dmc import mean_energy as dmc_mean
+from repro.qmc.vmc import VMC, mean_energy
+from repro.qmc.wavefunction import HarmonicOscillator, HydrogenAtom
+
+
+class TestWavefunctions:
+    def test_ho_local_energy_exact_trial_is_constant(self):
+        psi = HarmonicOscillator(alpha=1.0)
+        r = np.random.default_rng(0).standard_normal((100, 3))
+        assert np.allclose(psi.local_energy(r), 1.5)
+
+    def test_ho_variational_energy_minimised_at_alpha_one(self):
+        energies = {a: HarmonicOscillator(a).variational_energy()
+                    for a in (0.5, 0.8, 1.0, 1.3, 2.0)}
+        assert min(energies, key=energies.get) == 1.0
+        assert energies[1.0] == 1.5
+
+    def test_ho_drift_is_gradient_of_log_psi(self):
+        psi = HarmonicOscillator(alpha=1.3)
+        r = np.random.default_rng(1).standard_normal((5, 3))
+        eps = 1e-6
+        for dim in range(3):
+            shifted = r.copy()
+            shifted[:, dim] += eps
+            numeric = (psi.log_psi(shifted) - psi.log_psi(r)) / eps
+            assert np.allclose(psi.drift(r)[:, dim], numeric, atol=1e-4)
+
+    def test_hydrogen_exact_trial(self):
+        psi = HydrogenAtom(beta=1.0)
+        r = psi.initial_walkers(100, np.random.default_rng(2))
+        assert np.allclose(psi.local_energy(r), -0.5)
+
+    def test_hydrogen_variational_energy(self):
+        assert HydrogenAtom(beta=1.0).variational_energy() == -0.5
+        assert HydrogenAtom(beta=0.8).variational_energy() == \
+            pytest.approx(0.5 * 0.64 - 0.8)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicOscillator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HydrogenAtom(beta=-1.0)
+
+
+class TestVMC:
+    def test_zero_variance_for_exact_trial(self):
+        v = VMC(HarmonicOscillator(1.0), n_walkers=128, seed=1)
+        stats = v.block(10)
+        assert stats.energy == pytest.approx(1.5)
+        assert stats.variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_reproduces_variational_energy(self):
+        psi = HarmonicOscillator(alpha=1.4)
+        v = VMC(psi, n_walkers=2048, drift=False, seed=2)
+        blocks = v.run(n_blocks=25, steps_per_block=15)
+        assert mean_energy(blocks) == pytest.approx(
+            psi.variational_energy(), abs=0.03)
+
+    def test_drift_mover_reproduces_variational_energy(self):
+        psi = HarmonicOscillator(alpha=0.7)
+        v = VMC(psi, n_walkers=2048, drift=True, seed=3)
+        blocks = v.run(n_blocks=25, steps_per_block=15)
+        assert mean_energy(blocks) == pytest.approx(
+            psi.variational_energy(), abs=0.03)
+
+    def test_drift_raises_acceptance(self):
+        psi = HarmonicOscillator(alpha=1.0)
+        plain = VMC(psi, n_walkers=512, drift=False, seed=4, timestep=0.5)
+        smart = VMC(psi, n_walkers=512, drift=True, seed=4, timestep=0.5)
+        plain.run(n_blocks=5)
+        smart.run(n_blocks=5)
+        assert smart.acceptance_ratio > plain.acceptance_ratio
+
+    def test_hydrogen_vmc(self):
+        psi = HydrogenAtom(beta=0.9)
+        v = VMC(psi, n_walkers=2048, drift=True, seed=5, timestep=0.2)
+        blocks = v.run(n_blocks=25, steps_per_block=15)
+        assert mean_energy(blocks) == pytest.approx(
+            psi.variational_energy(), abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VMC(HarmonicOscillator(), n_walkers=0)
+        with pytest.raises(ConfigurationError):
+            VMC(HarmonicOscillator(), timestep=0.0)
+        v = VMC(HarmonicOscillator(), n_walkers=8, seed=1)
+        with pytest.raises(ConfigurationError):
+            v.block(0)
+
+
+class TestDMC:
+    def test_projects_to_ground_state(self):
+        d = DMC(HarmonicOscillator(alpha=1.3), n_walkers=1024,
+                timestep=0.01, seed=3)
+        blocks = d.run(n_blocks=40, steps_per_block=20, warmup_blocks=10)
+        assert dmc_mean(blocks) == pytest.approx(1.5, abs=0.05)
+
+    def test_population_controlled(self):
+        d = DMC(HarmonicOscillator(alpha=1.5), n_walkers=512,
+                timestep=0.02, seed=4)
+        blocks = d.run(n_blocks=20, warmup_blocks=5)
+        pops = [b.population for b in blocks]
+        assert all(256 < p < 1024 for p in pops)
+
+    def test_hydrogen_ground_state(self):
+        d = DMC(HydrogenAtom(beta=0.9), n_walkers=1024, timestep=0.01,
+                seed=5)
+        blocks = d.run(n_blocks=30, warmup_blocks=10)
+        assert dmc_mean(blocks) == pytest.approx(-0.5, abs=0.03)
+
+    def test_exact_trial_zero_fluctuation(self):
+        d = DMC(HarmonicOscillator(alpha=1.0), n_walkers=256,
+                timestep=0.02, seed=6)
+        stats = d.block(10)
+        assert stats.energy == pytest.approx(1.5)
+        assert stats.population == 256  # unit weights, no branching loss
+
+    def test_rebalance_plan_conserves_walkers(self):
+        d = DMC(HarmonicOscillator(alpha=1.2), n_walkers=777, seed=7)
+        d.block(5)
+        plan = d.rebalance_plan(8)
+        moved_out = {}
+        moved_in = {}
+        for src, dst, count in plan:
+            assert count > 0 and src != dst
+            moved_out[src] = moved_out.get(src, 0) + count
+            moved_in[dst] = moved_in.get(dst, 0) + count
+        # No rank both donates and receives.
+        assert not (set(moved_out) & set(moved_in))
+
+    def test_rebalance_needs_ranks(self):
+        d = DMC(HarmonicOscillator(), n_walkers=64, seed=8)
+        with pytest.raises(ConfigurationError):
+            d.rebalance_plan(0)
+
+
+class TestQMCApp:
+    def test_phase_step_counts(self):
+        app = QMCPACKApp(n_nodes=1, seed=9, noise=QUIET,
+                         sample_walkers=64, hw_walkers_per_rank=1024)
+        steps = app.steps()
+        assert len(steps) == 6 + 6 + 8
+
+    def test_run_produces_physics_and_traffic(self):
+        app = QMCPACKApp(n_nodes=1, seed=9, noise=QUIET,
+                         sample_walkers=128, hw_walkers_per_rank=1024)
+        app.run()
+        assert len(app.results["dmc"]) == 8
+        vmc_e = np.mean([b.energy for b in app.results["vmc-nodrift"]])
+        assert vmc_e == pytest.approx(app.psi.variational_energy(),
+                                      abs=0.1)
+        sock = app.cluster.nodes[0].socket(0)
+        assert sock.memory.total_read_bytes > 0
+
+    def test_dmc_phase_uses_network(self):
+        app = QMCPACKApp(n_nodes=2, seed=9, noise=QUIET,
+                         sample_walkers=128, hw_walkers_per_rank=4096)
+        app.run()
+        recv = sum(nic.recv_octets for node in app.cluster.nodes
+                   for nic in node.nics)
+        assert recv > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QMCPACKApp(n_nodes=1, sample_walkers=0)

@@ -1,0 +1,70 @@
+"""Blocking analysis: statistical correctness on known series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qmc.blocking import (
+    autocorrelated_series,
+    blocking_analysis,
+)
+
+
+class TestIndependentSamples:
+    def test_error_matches_naive_for_iid(self):
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal(4096)
+        result = blocking_analysis(samples)
+        assert result.error == pytest.approx(result.naive_error, rel=0.3)
+        assert result.inefficiency < 2.0
+
+    def test_mean_is_sample_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.standard_normal(512) + 5.0
+        result = blocking_analysis(samples)
+        assert result.mean == pytest.approx(samples.mean())
+
+
+class TestCorrelatedSamples:
+    def test_correlated_series_inflates_error(self):
+        rng = np.random.default_rng(2)
+        tau = 10.0
+        samples = autocorrelated_series(1 << 14, tau, rng)
+        result = blocking_analysis(samples)
+        # True error of an AR(1) mean is ~sqrt(2*tau) times naive.
+        assert result.error > 2.0 * result.naive_error
+        assert result.inefficiency == pytest.approx(2 * tau, rel=0.6)
+
+    def test_error_from_vmc_energies(self):
+        """End-to-end on real sampler output: the blocked error covers
+        the true deviation from the known variational energy."""
+        from repro.qmc.vmc import VMC
+        from repro.qmc.wavefunction import HarmonicOscillator
+
+        psi = HarmonicOscillator(alpha=1.3)
+        sampler = VMC(psi, n_walkers=64, seed=7)
+        sampler.run(n_blocks=2, steps_per_block=10)  # warm-up
+        energies = [sampler.block(1).energy for _ in range(512)]
+        result = blocking_analysis(energies)
+        true_err = abs(result.mean - psi.variational_energy())
+        assert true_err < 5 * result.error
+        # Correlated chain: blocking must inflate the naive estimate.
+        assert result.error >= result.naive_error
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            blocking_analysis([1.0] * 10)
+
+    def test_levels_shrink_by_half(self):
+        rng = np.random.default_rng(3)
+        result = blocking_analysis(rng.standard_normal(1024))
+        sizes = [lvl.n_blocks for lvl in result.levels]
+        assert sizes[0] == 1024
+        assert all(b == pytest.approx(a / 2, abs=1)
+                   for a, b in zip(sizes, sizes[1:]))
+
+    def test_ar1_helper_validation(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelated_series(100, 0.0, np.random.default_rng(0))

@@ -1,0 +1,92 @@
+"""Radial densities: samplers draw from the right distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qmc.observables import (
+    density_distance,
+    ho_radial_density,
+    hydrogen_radial_density,
+    radial_histogram,
+)
+from repro.qmc.vmc import VMC
+from repro.qmc.wavefunction import HarmonicOscillator, HydrogenAtom
+
+
+class TestHistogram:
+    def test_normalised(self):
+        rng = np.random.default_rng(0)
+        walkers = rng.standard_normal((5000, 3))
+        hist = radial_histogram(walkers, n_bins=40)
+        assert hist.total_probability() == pytest.approx(1.0, rel=1e-9)
+        assert hist.n_samples == 5000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            radial_histogram(np.zeros(10))
+        with pytest.raises(ConfigurationError):
+            radial_histogram(np.zeros((10, 3)), n_bins=1)
+
+
+class TestAnalyticDensities:
+    def test_ho_density_normalised(self):
+        r = np.linspace(0, 8, 20000)
+        p = ho_radial_density(r, alpha=1.2)
+        assert np.trapezoid(p, r) == pytest.approx(1.0, rel=1e-4)
+
+    def test_hydrogen_density_normalised(self):
+        r = np.linspace(0, 40, 40000)
+        p = hydrogen_radial_density(r, beta=0.9)
+        assert np.trapezoid(p, r) == pytest.approx(1.0, rel=1e-4)
+
+    def test_ho_mode_location(self):
+        # p(r) peaks at r = 1/sqrt(alpha).
+        r = np.linspace(0.01, 5, 5000)
+        p = ho_radial_density(r, alpha=2.0)
+        assert r[np.argmax(p)] == pytest.approx(1 / np.sqrt(2.0),
+                                                abs=0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ho_radial_density(np.ones(3), alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            hydrogen_radial_density(np.ones(3), beta=-1.0)
+
+
+class TestSamplersMatchAnalyticDensity:
+    def test_vmc_ho_samples_psi_squared(self):
+        psi = HarmonicOscillator(alpha=1.4)
+        sampler = VMC(psi, n_walkers=4096, seed=3)
+        sampler.run(n_blocks=6, steps_per_block=10)
+        hist = radial_histogram(sampler.walkers, n_bins=30, r_max=4.0)
+        analytic = ho_radial_density(hist.centers, psi.alpha)
+        assert density_distance(hist, analytic) < 0.08
+
+    def test_vmc_hydrogen_samples_psi_squared(self):
+        psi = HydrogenAtom(beta=1.0)
+        sampler = VMC(psi, n_walkers=4096, drift=True, seed=4,
+                      timestep=0.15)
+        sampler.run(n_blocks=8, steps_per_block=10)
+        hist = radial_histogram(sampler.walkers, n_bins=30, r_max=6.0)
+        analytic = hydrogen_radial_density(hist.centers, psi.beta)
+        assert density_distance(hist, analytic) < 0.10
+
+    def test_wrong_density_is_distinguishable(self):
+        # The metric actually discriminates: alpha=1.4 walkers vs the
+        # alpha=0.5 analytic curve must measure clearly farther.
+        psi = HarmonicOscillator(alpha=1.4)
+        sampler = VMC(psi, n_walkers=4096, seed=3)
+        sampler.run(n_blocks=6, steps_per_block=10)
+        hist = radial_histogram(sampler.walkers, n_bins=30, r_max=4.0)
+        right = density_distance(hist,
+                                 ho_radial_density(hist.centers, 1.4))
+        wrong = density_distance(hist,
+                                 ho_radial_density(hist.centers, 0.5))
+        assert wrong > 4 * right
+
+    def test_distance_validation(self):
+        hist = radial_histogram(np.random.default_rng(0)
+                                .standard_normal((100, 3)), n_bins=10)
+        with pytest.raises(ConfigurationError):
+            density_distance(hist, [1.0, 2.0])

@@ -1,0 +1,68 @@
+"""Store-bypass decision table — the core of Figs 6-9's analysis."""
+
+from repro.machine.prefetch import SoftwarePrefetch, StreamDetector
+from repro.machine.store import (
+    DENSE_INTERARRIVAL_MAX,
+    StoreContext,
+    StorePolicy,
+    resolve_store_policy,
+    store_policy_for,
+)
+
+
+def ctx(sequential=True, strided=False, interarrival=1, dcbtst=False):
+    return StoreContext(
+        sequential=sequential,
+        strided_stream_active=strided,
+        interarrival=interarrival,
+        prefetch=SoftwarePrefetch(dcbt=dcbtst, dcbtst=dcbtst),
+    )
+
+
+class TestDecisionTable:
+    def test_dense_sequential_copy_bypasses(self):
+        # S1CF loop nest 1 / S2CF: one read observed, no RFO.
+        assert resolve_store_policy(ctx()) is StorePolicy.BYPASS
+
+    def test_dcbtst_forces_write_allocate(self):
+        # Fig 6b / 9b: -fprefetch-loop-arrays re-enables the read.
+        assert resolve_store_policy(ctx(dcbtst=True)) is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_strided_stream_on_core_forces_write_allocate(self):
+        # GEMM's B stream / S1CF loop nest 2's tmp stream.
+        assert resolve_store_policy(ctx(strided=True)) is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_strided_store_stream_forces_write_allocate(self):
+        # S1CF combined nest: out itself is strided.
+        assert resolve_store_policy(ctx(sequential=False)) is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_sparse_store_stream_forces_write_allocate(self):
+        # GEMV's y / GEMM's C: one store per dot product — "M reads are
+        # incurred by the hardware when writing into the vector y".
+        assert resolve_store_policy(ctx(interarrival=100)) is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_density_threshold_boundary(self):
+        assert resolve_store_policy(
+            ctx(interarrival=DENSE_INTERARRIVAL_MAX)) is StorePolicy.BYPASS
+        assert resolve_store_policy(
+            ctx(interarrival=DENSE_INTERARRIVAL_MAX + 1)) is \
+            StorePolicy.WRITE_ALLOCATE
+
+
+class TestDetectorIntegration:
+    def test_policy_from_live_detector(self):
+        d = StreamDetector()
+        assert store_policy_for(d, sequential=True) is StorePolicy.BYPASS
+        d.observe_regular("tmp", stride_bytes=8192, n_accesses=1000)
+        assert store_policy_for(d, sequential=True) is \
+            StorePolicy.WRITE_ALLOCATE
+
+    def test_unit_stride_loads_do_not_gate(self):
+        d = StreamDetector()
+        d.observe_regular("in", stride_bytes=8, n_accesses=1000)
+        assert store_policy_for(d, sequential=True, elem_size=8) is \
+            StorePolicy.BYPASS

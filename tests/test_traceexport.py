@@ -1,0 +1,83 @@
+"""Chrome-trace export of timelines."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measure.timeline import Timeline, TimelineSample
+from repro.measure.traceexport import (
+    timeline_to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(samples=[
+        TimelineSample("fft-z", 0.0, 0.010, mem_read_rate=50e9,
+                       mem_write_rate=1e9, gpu_power_w=300.0,
+                       net_recv_rate=0.0),
+        TimelineSample("all2all-1", 0.010, 0.015, mem_read_rate=9e9,
+                       mem_write_rate=9e9, gpu_power_w=40.0,
+                       net_recv_rate=6e9),
+    ])
+
+
+class TestExport:
+    def test_duration_events(self, timeline):
+        trace = timeline_to_chrome_trace(timeline)
+        durations = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(durations) == 2
+        assert durations[0]["name"] == "fft-z"
+        assert durations[0]["ts"] == 0.0
+        assert durations[0]["dur"] == pytest.approx(10_000)  # µs
+        assert durations[1]["ts"] == pytest.approx(10_000)
+
+    def test_counter_tracks(self, timeline):
+        trace = timeline_to_chrome_trace(timeline)
+        counters = {e["name"] for e in trace["traceEvents"]
+                    if e["ph"] == "C"}
+        assert counters == {"memory traffic", "gpu power", "network"}
+
+    def test_args_carry_rates(self, timeline):
+        trace = timeline_to_chrome_trace(timeline)
+        fft = [e for e in trace["traceEvents"]
+               if e["ph"] == "X" and e["name"] == "fft-z"][0]
+        assert fft["args"]["mem_read_GBps"] == 50.0
+        assert fft["args"]["gpu_power_W"] == 300.0
+
+    def test_process_metadata(self, timeline):
+        trace = timeline_to_chrome_trace(timeline, pid=7,
+                                         process_name="rank7")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"][0]
+        assert meta["pid"] == 7
+        assert meta["args"]["name"] == "rank7"
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timeline_to_chrome_trace(Timeline(samples=[]))
+
+    def test_write_round_trips_as_json(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(timeline, str(path))
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) > 0
+
+    def test_real_profile_exports(self, tmp_path):
+        from repro.fft3d import FFT3DApp
+        from repro.measure.timeline import MultiComponentProfiler
+        from repro.mpi import ProcessorGrid
+        from repro.papi import library_init
+        from repro.pcp import start_pmcd_for_node
+
+        app = FFT3DApp(n=128, grid=ProcessorGrid(2, 4), seed=1)
+        node0 = app.cluster.nodes[0]
+        papi = library_init(node0, pmcd=start_pmcd_for_node(node0))
+        tl = MultiComponentProfiler(papi).profile(app.steps(1))
+        path = tmp_path / "fft.json"
+        write_chrome_trace(tl, str(path))
+        data = json.loads(path.read_text())
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert {"fft-z", "s1cf", "all2all-1"} <= names

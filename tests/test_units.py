@@ -1,0 +1,105 @@
+"""Unit tests for byte-size arithmetic helpers."""
+
+import pytest
+
+from repro.units import (
+    DOUBLE,
+    DOUBLE_COMPLEX,
+    GIB,
+    KIB,
+    MIB,
+    POWER9_GRANULE,
+    POWER9_LINE,
+    ceil_div,
+    fmt_bytes,
+    parse_size,
+    round_up,
+    transactions,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(64, 64) == 1
+
+    def test_rounds_up(self):
+        assert ceil_div(65, 64) == 2
+
+    def test_zero(self):
+        assert ceil_div(0, 64) == 0
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 64)
+
+    def test_nonpositive_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+
+class TestRoundUp:
+    def test_already_aligned(self):
+        assert round_up(128) == 128
+
+    def test_rounds_to_granule(self):
+        assert round_up(1) == POWER9_GRANULE
+        assert round_up(65) == 128
+
+    def test_custom_granule(self):
+        assert round_up(100, granule=32) == 128
+
+    def test_zero(self):
+        assert round_up(0) == 0
+
+
+class TestTransactions:
+    def test_one_element_costs_one_transaction(self):
+        assert transactions(DOUBLE) == 1
+
+    def test_full_line_is_two_granules(self):
+        assert transactions(POWER9_LINE) == 2
+
+    def test_paper_conversion(self):
+        # "expected memory traffic multiplied by 8 and divided by 64":
+        # N elements of 8 bytes -> N*8/64 transactions when aligned.
+        n = 4096
+        assert transactions(n * DOUBLE) == n * DOUBLE // 64
+
+
+class TestConstants:
+    def test_element_sizes(self):
+        assert DOUBLE == 8
+        assert DOUBLE_COMPLEX == 16
+
+    def test_power9_geometry(self):
+        # Half-line memory fetches: granule is half the 128 B line.
+        assert POWER9_LINE == 2 * POWER9_GRANULE
+
+    def test_binary_prefixes(self):
+        assert KIB == 1024
+        assert MIB == 1024 ** 2
+        assert GIB == 1024 ** 3
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512.00 B"
+
+    def test_mib(self):
+        assert fmt_bytes(5 * MIB) == "5.00 MiB"
+
+    def test_large(self):
+        assert "TiB" in fmt_bytes(3 * 1024 * GIB)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("64", 64),
+        ("5MiB", 5 * MIB),
+        ("2 KiB", 2 * KIB),
+        ("1GiB", GIB),
+        ("1kB", 1000),
+        ("1.5MiB", int(1.5 * MIB)),
+    ])
+    def test_round_trips(self, text, expected):
+        assert parse_size(text) == expected
