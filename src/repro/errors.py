@@ -34,6 +34,10 @@ class PCPError(ReproError):
     """An error inside the simulated Performance Co-Pilot stack."""
 
 
+class PCPTimeout(PCPError):
+    """A PCP request exceeded its deadline (after client-side retries)."""
+
+
 class PMNSError(PCPError):
     """A metric name could not be resolved in the PMNS namespace."""
 

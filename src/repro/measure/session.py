@@ -161,6 +161,20 @@ class MeasurementSession:
         )
 
     # ------------------------------------------------------------------
+    def daemon_overhead(self) -> dict:
+        """Overhead of the daemon-mediated measurement path itself.
+
+        Returns the merged client/daemon/service counters (round
+        trips, simulated latency, lookup-cache behaviour, coalescing)
+        for sessions measuring via PCP — the paper's Table 2 overhead
+        analysis as live data. Empty for direct-uncore sessions, which
+        have no daemon in the loop.
+        """
+        if self.via != VIA_PCP:
+            return {}
+        return self.papi.component(VIA_PCP).daemon_overhead()
+
+    # ------------------------------------------------------------------
     def batch_core_count(self, socket_id: int = 0) -> int:
         """Cores used by the paper's batched kernels: every usable core
         of the socket (21 on Summit, 16 on Tellico)."""

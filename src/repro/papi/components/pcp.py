@@ -56,6 +56,24 @@ class PCPComponent(Component):
                     f"{self.name}{COMPONENT_DELIMITER}{metric}:cpu{cpu}")
         return events
 
+    def daemon_events(self) -> List[str]:
+        """The daemon's pmcd.* self-metrics as addressable PAPI events.
+
+        Kept out of :meth:`list_events` (which enumerates the paper's
+        hardware counters) but fully openable: reading them measures
+        the measurement infrastructure itself.
+        """
+        try:
+            metrics = self.context.traverse("pmcd")
+        except PCPError:
+            return []  # daemon without self-instrumentation
+        return [f"{self.name}{COMPONENT_DELIMITER}{metric}:pmcd"
+                for metric in metrics]
+
+    def daemon_overhead(self) -> Dict[str, float]:
+        """Service-layer overhead counters for this component's path."""
+        return self.context.daemon_overhead()
+
     # ------------------------------------------------------------------
     def parse_event(self, name: str) -> Tuple[str, str]:
         """Split ``pcp:::metric.path:instance`` → (metric, instance)."""

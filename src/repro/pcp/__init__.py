@@ -1,12 +1,15 @@
 """Simulated Performance Co-Pilot stack: PMNS, PMDAs, the PMCD daemon
-and the client (pmapi) context. The privileged perfevent PMDA is what
-lets unprivileged users read nest counters — the mechanism the paper
+and the client (pmapi) context, plus the concurrent TCP service layer
+(:mod:`~repro.pcp.server`) with fault injection
+(:mod:`~repro.pcp.faults`). The privileged perfevent PMDA is what lets
+unprivileged users read nest counters — the mechanism the paper
 validates."""
 
 from .client import PmapiContext
-from .pmcd import PMCD, start_pmcd_for_node
+from .faults import FaultAction, FaultInjector, FaultKind
+from .pmcd import PMCD, PMCDStats, start_pmcd_for_node
 from .pmlogger import ArchiveRecord, PmLogger
-from .pmda import PMDA, PerfeventPMDA, make_pmid, pmid_domain
+from .pmda import PMDA, PerfeventPMDA, PmcdPMDA, make_pmid, pmid_domain
 from .pmns import PMNS
 from .protocol import (
     ChildrenRequest,
@@ -18,12 +21,16 @@ from .protocol import (
     MetricValues,
     PCPStatus,
 )
+from .server import PMCDServer, RemotePMCD, ServiceStats
 
 __all__ = [
     "ArchiveRecord",
     "ChildrenRequest",
     "PmLogger",
     "ChildrenResponse",
+    "FaultAction",
+    "FaultInjector",
+    "FaultKind",
     "FetchRequest",
     "FetchResponse",
     "LookupRequest",
@@ -31,10 +38,15 @@ __all__ = [
     "MetricValues",
     "PCPStatus",
     "PMCD",
+    "PMCDServer",
+    "PMCDStats",
     "PMDA",
     "PMNS",
     "PerfeventPMDA",
     "PmapiContext",
+    "PmcdPMDA",
+    "RemotePMCD",
+    "ServiceStats",
     "make_pmid",
     "pmid_domain",
     "start_pmcd_for_node",

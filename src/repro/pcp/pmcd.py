@@ -10,15 +10,28 @@ round-trip latency, charged to the *client's* node clock by the client
 context — this is the indirection overhead whose effect on measurement
 accuracy the paper quantifies (and finds negligible for large
 problems).
+
+Service-layer state beyond the seed daemon:
+
+* a monotonically increasing ``generation`` (bumped whenever the
+  metric namespace changes) that clients use to invalidate cached
+  lookups,
+* a ``boot_id`` (bumped by :meth:`PMCD.restart`) that lets clients
+  detect a daemon crash as a measurement *gap* instead of silently
+  mixing counter epochs,
+* a daemon-side lookup cache keyed on the request's name tuple, and
+* :class:`PMCDStats` counters that the ``pmcd.*`` self-metrics PMDA
+  re-exports, so daemon overhead is itself measurable through PAPI —
+  the paper's Table 2 overhead analysis as a live metric.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import PCPError
 from ..machine.node import Node
-from .pmda import PMDA, PerfeventPMDA, pmid_domain
+from .pmda import PMDA, PerfeventPMDA, PmcdPMDA, pmid_domain
 from .pmns import PMNS
 from .protocol import (
     ChildrenRequest,
@@ -31,6 +44,31 @@ from .protocol import (
     MetricValues,
     PCPStatus,
 )
+
+
+class PMCDStats:
+    """Daemon-side request counters (exported via the pmcd.* PMDA)."""
+
+    __slots__ = ("requests", "lookups", "fetches", "children", "errors",
+                 "lookup_cache_hits", "lookup_cache_misses",
+                 "pmda_fetch_calls", "restarts")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.lookups = 0
+        self.fetches = 0
+        self.children = 0
+        self.errors = 0
+        self.lookup_cache_hits = 0
+        self.lookup_cache_misses = 0
+        #: Individual PMDA ``fetch`` invocations — strictly less than
+        #: the naive per-request count once the TCP service layer
+        #: coalesces concurrent fetches.
+        self.pmda_fetch_calls = 0
+        self.restarts = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class PMCD:
@@ -48,6 +86,13 @@ class PMCD:
         self._agents: Dict[int, PMDA] = {}
         self._fetch_count = 0
         self.running = True
+        self.generation = 0
+        self.boot_id = 0
+        self.stats = PMCDStats()
+        #: Optional :class:`~repro.pcp.server.ServiceStats` attached by
+        #: the TCP service layer (exported via pmcd.service.* metrics).
+        self.service_stats = None
+        self._lookup_cache: Dict[Tuple[str, ...], LookupResponse] = {}
 
     # ------------------------------------------------------------------
     def register_agent(self, agent: PMDA) -> None:
@@ -60,6 +105,7 @@ class PMCD:
         self._agents[agent.domain] = agent
         for name, pmid in agent.metric_table():
             self.pmns.register(name, pmid)
+        self._bump_generation()
 
     @property
     def agents(self) -> List[PMDA]:
@@ -70,10 +116,29 @@ class PMCD:
         """Number of fetch PDUs served (diagnostics/tests)."""
         return self._fetch_count
 
+    def _bump_generation(self) -> None:
+        self.generation += 1
+        self._lookup_cache.clear()
+
+    def restart(self) -> None:
+        """Simulate a daemon crash + restart.
+
+        In-memory caches are lost and the boot id changes, so clients
+        observe a measurement *gap* (via the ``boot_id`` on fetch
+        responses) rather than silently continuing. The PMNS survives
+        because agents re-register deterministically on boot.
+        """
+        self.stats.restarts += 1
+        self.boot_id += 1
+        self.running = True
+        self._bump_generation()
+
     # ------------------------------------------------------------------
     def handle(self, request):
         """Dispatch one protocol request; never raises to the client."""
+        self.stats.requests += 1
         if not self.running:
+            self.stats.errors += 1
             return ErrorResponse(PCPStatus.PM_ERR_PERMISSION, "pmcd not running")
         if isinstance(request, LookupRequest):
             return self._handle_lookup(request)
@@ -81,11 +146,18 @@ class PMCD:
             return self._handle_fetch(request)
         if isinstance(request, ChildrenRequest):
             return self._handle_children(request)
+        self.stats.errors += 1
         return ErrorResponse(PCPStatus.PM_ERR_PMID,
                              f"unknown request type {type(request).__name__}")
 
     # ------------------------------------------------------------------
     def _handle_lookup(self, request: LookupRequest) -> LookupResponse:
+        self.stats.lookups += 1
+        cached = self._lookup_cache.get(request.names)
+        if cached is not None:
+            self.stats.lookup_cache_hits += 1
+            return cached
+        self.stats.lookup_cache_misses += 1
         pmids = []
         statuses = []
         for name in request.names:
@@ -97,34 +169,48 @@ class PMCD:
                 statuses.append(PCPStatus.PM_ERR_NAME)
         overall = (PCPStatus.OK if all(s == PCPStatus.OK for s in statuses)
                    else PCPStatus.PM_ERR_NAME)
-        return LookupResponse(status=overall, pmids=tuple(pmids),
-                              name_status=tuple(statuses))
+        response = LookupResponse(status=overall, pmids=tuple(pmids),
+                                  name_status=tuple(statuses),
+                                  generation=self.generation)
+        self._lookup_cache[request.names] = response
+        return response
 
     def _handle_fetch(self, request: FetchRequest) -> FetchResponse:
         self._fetch_count += 1
+        self.stats.fetches += 1
         metrics = []
         for pmid in request.pmids:
             agent = self._agents.get(pmid_domain(pmid))
             if agent is None:
-                return FetchResponse(status=PCPStatus.PM_ERR_PMID)
+                return FetchResponse(status=PCPStatus.PM_ERR_PMID,
+                                     generation=self.generation,
+                                     boot_id=self.boot_id)
             try:
+                self.stats.pmda_fetch_calls += 1
                 values = agent.fetch(pmid)
             except PCPError:
-                return FetchResponse(status=PCPStatus.PM_ERR_PMID)
+                return FetchResponse(status=PCPStatus.PM_ERR_PMID,
+                                     generation=self.generation,
+                                     boot_id=self.boot_id)
             metrics.append(MetricValues(pmid=pmid, values=values))
         return FetchResponse(status=PCPStatus.OK,
                              timestamp=self._timestamp(),
-                             metrics=tuple(metrics))
+                             metrics=tuple(metrics),
+                             generation=self.generation,
+                             boot_id=self.boot_id)
 
     def _handle_children(self, request: ChildrenRequest) -> ChildrenResponse:
+        self.stats.children += 1
         try:
             pairs = self.pmns.children(request.prefix)
         except Exception:
-            return ChildrenResponse(status=PCPStatus.PM_ERR_NAME)
+            return ChildrenResponse(status=PCPStatus.PM_ERR_NAME,
+                                    generation=self.generation)
         return ChildrenResponse(
             status=PCPStatus.OK,
             children=tuple(name for name, _ in pairs),
             leaf_flags=tuple(leaf for _, leaf in pairs),
+            generation=self.generation,
         )
 
     def _timestamp(self) -> float:
@@ -138,11 +224,15 @@ class PMCD:
 
 
 def start_pmcd_for_node(node: Node,
-                        round_trip_seconds: Optional[float] = None) -> PMCD:
+                        round_trip_seconds: Optional[float] = None,
+                        self_metrics: bool = True) -> PMCD:
     """Boot a PMCD serving ``node``'s nest counters via perfevent.
 
     This is what IBM's deployment on Summit amounts to: a privileged
     daemon exporting the otherwise-restricted nest events to user space.
+    ``self_metrics`` additionally registers the daemon's own ``pmcd.*``
+    agent (as real pmcd does), making service overhead measurable
+    through the same path.
     """
     pmcd = PMCD(
         hostname=node.config.name,
@@ -151,4 +241,6 @@ def start_pmcd_for_node(node: Node,
                             else round_trip_seconds),
     )
     pmcd.register_agent(PerfeventPMDA(node))
+    if self_metrics:
+        pmcd.register_agent(PmcdPMDA(pmcd))
     return pmcd

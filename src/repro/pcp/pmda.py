@@ -50,6 +50,68 @@ class PMDA(abc.ABC):
         """Current values of ``pmid``, keyed by instance name."""
 
 
+class PmcdPMDA(PMDA):
+    """The daemon's self-instrumentation agent.
+
+    Real pmcd serves its own ``pmcd.*`` metrics through the same fetch
+    path as every other agent; this mirrors that. Request counts,
+    lookup-cache behaviour, fetch coalescing and service latency become
+    ordinary PCP metrics with the single instance ``"pmcd"``, so the
+    daemon overhead the paper's Table 2 quantifies is measurable
+    through the very path that incurs it.
+    """
+
+    DEFAULT_DOMAIN = 2  # the real pmcd's PCP domain number
+
+    #: metric suffix -> reader(pmcd) returning an int.
+    _READERS = (
+        ("pmcd.requests.total", lambda d: d.stats.requests),
+        ("pmcd.lookup.total", lambda d: d.stats.lookups),
+        ("pmcd.lookup.cache_hits", lambda d: d.stats.lookup_cache_hits),
+        ("pmcd.lookup.cache_misses", lambda d: d.stats.lookup_cache_misses),
+        ("pmcd.fetch.total", lambda d: d.stats.fetches),
+        ("pmcd.fetch.pmda_calls", lambda d: d.stats.pmda_fetch_calls),
+        ("pmcd.errors.total", lambda d: d.stats.errors),
+        ("pmcd.restarts.total", lambda d: d.stats.restarts),
+        ("pmcd.state.generation", lambda d: d.generation),
+        ("pmcd.state.boot", lambda d: d.boot_id),
+        ("pmcd.service.coalesced",
+         lambda d: _service_stat(d, "coalesced")),
+        ("pmcd.service.max_queue_depth",
+         lambda d: _service_stat(d, "max_queue_depth")),
+        ("pmcd.service.latency_max_usec",
+         lambda d: _service_stat(d, "latency_max_usec")),
+    )
+
+    def __init__(self, pmcd, domain: int = DEFAULT_DOMAIN):
+        super().__init__("pmcd", domain)
+        self._pmcd = pmcd
+        self._by_pmid = {}
+        self._names: List[Tuple[str, int]] = []
+        for item, (metric, reader) in enumerate(self._READERS):
+            pmid = make_pmid(domain, item)
+            self._by_pmid[pmid] = reader
+            self._names.append((metric, pmid))
+
+    def metric_table(self) -> List[Tuple[str, int]]:
+        return list(self._names)
+
+    def fetch(self, pmid: int) -> Dict[str, int]:
+        try:
+            reader = self._by_pmid[pmid]
+        except KeyError:
+            raise PCPError(f"pmcd PMDA does not serve pmid {pmid}") from None
+        return {"pmcd": int(reader(self._pmcd))}
+
+
+def _service_stat(pmcd, key: str) -> int:
+    """Read one TCP service-layer counter (0 for in-process daemons)."""
+    stats = getattr(pmcd, "service_stats", None)
+    if stats is None:
+        return 0
+    return int(stats.snapshot().get(key, 0))
+
+
 class PerfeventPMDA(PMDA):
     """Exports one node's nest counters as PCP metrics.
 

@@ -7,6 +7,12 @@ simulated logger does the same against a :class:`PmapiContext`: each
 clock), records a timestamped snapshot, and the archive answers replay
 queries — including rate conversion between consecutive samples, which
 is how counter metrics like ``PM_MBA*_BYTES`` become bandwidth curves.
+
+Degraded mode: if the daemon restarts between samples (the client
+context observes a ``boot_id`` change), the next archive record is
+flagged ``gap=True``. Rate conversion never differentiates across a
+gap — a daemon crash yields a missing interval in the bandwidth curve
+instead of a corrupted one.
 """
 
 from __future__ import annotations
@@ -24,6 +30,9 @@ class ArchiveRecord:
 
     timestamp: float
     values: Dict[Tuple[str, str], int]  # (metric, instance) -> value
+    #: True when the daemon restarted since the previous sample; the
+    #: interval ending at this record is unusable for rates.
+    gap: bool = False
 
 
 class PmLogger:
@@ -39,12 +48,19 @@ class PmLogger:
         self.metrics = list(metrics)
         self.interval_seconds = interval_seconds
         self._pmids = context.lookup_names(self.metrics)
+        self._gaps_seen = context.gaps
         self.archive: List[ArchiveRecord] = []
 
     # ------------------------------------------------------------------
     def sample(self) -> ArchiveRecord:
         """Take one sample now (one pmFetch round trip)."""
         fetched = self.context.fetch(self._pmids)
+        gap = self.context.gaps > self._gaps_seen
+        if gap:
+            # Daemon restarted under us: re-resolve the metric names
+            # (the namespace generation changed) and mark the record.
+            self._gaps_seen = self.context.gaps
+            self._pmids = self.context.lookup_names(self.metrics)
         values: Dict[Tuple[str, str], int] = {}
         for metric, pmid in zip(self.metrics, self._pmids):
             for instance, value in fetched[pmid].items():
@@ -52,7 +68,7 @@ class PmLogger:
         timestamp = (self.context.node.clock
                      if self.context.node is not None
                      else float(len(self.archive)))
-        record = ArchiveRecord(timestamp=timestamp, values=values)
+        record = ArchiveRecord(timestamp=timestamp, values=values, gap=gap)
         self.archive.append(record)
         return record
 
@@ -75,13 +91,26 @@ class PmLogger:
         return out
 
     def rates(self, metric: str, instance: str) -> List[Tuple[float, float]]:
-        """Counter metric -> rate curve (PCP's rate conversion)."""
-        points = self.series(metric, instance)
-        out = []
-        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+        """Counter metric -> rate curve (PCP's rate conversion).
+
+        Intervals that end at a gap record (daemon restart) are
+        skipped: the record restarts the curve instead of producing a
+        bogus rate from mixed counter epochs.
+        """
+        key = (metric, instance)
+        out: List[Tuple[float, float]] = []
+        prev: Optional[ArchiveRecord] = None
+        for rec in self.archive:
+            if key not in rec.values:
+                continue
+            if rec.gap or prev is None:
+                prev = rec
+                continue
+            t0, t1 = prev.timestamp, rec.timestamp
             if t1 <= t0:
                 raise PCPError("archive timestamps not increasing")
-            out.append((t1, (v1 - v0) / (t1 - t0)))
+            out.append((t1, (rec.values[key] - prev.values[key]) / (t1 - t0)))
+            prev = rec
         return out
 
     def instances_of(self, metric: str) -> List[str]:

@@ -1,18 +1,38 @@
-"""PCP client/daemon protocol messages (PDU equivalents).
+"""PCP client/daemon protocol messages (PDU equivalents) and codec.
 
 The real Performance Co-Pilot exchanges PDUs over a socket between the
-client libpcp and the PMCD daemon. Here the exchange is in-process but
-kept *message-shaped*: clients build request objects, the daemon
-dispatches on their type and returns response objects. This preserves
-the architectural indirection the paper studies (every fetch is a
-daemon round trip with a latency cost) while staying deterministic.
+client libpcp and the PMCD daemon. Here the exchange may be in-process
+or over TCP, but is always *message-shaped*: clients build request
+objects, the daemon dispatches on their type and returns response
+objects. This preserves the architectural indirection the paper
+studies (every fetch is a daemon round trip with a latency cost) while
+staying deterministic.
+
+Responses carry two service-level fields beyond their payload:
+
+* ``generation`` — bumped whenever the daemon's metric namespace
+  changes (agent registration, restart). Clients use it to invalidate
+  cached name→PMID lookups.
+* ``boot_id`` (fetches only) — bumped when the daemon restarts.
+  Clients use it to flag a measurement gap instead of silently mixing
+  counters across a daemon crash.
+
+The wire codec (one JSON object per line, ``{"type": <ClassName>,
+**fields}``) also lives here. Decoding is strict: any malformed line —
+bad JSON, a non-object, an unknown type, unexpected or missing fields,
+out-of-range status codes — raises :class:`~repro.errors.PCPError`,
+never ``KeyError``/``TypeError``, so a hostile or truncated byte
+stream cannot crash the daemon loop.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+import json
+from typing import Dict, Tuple
+
+from ..errors import PCPError
 
 
 class PCPStatus(enum.IntEnum):
@@ -23,6 +43,7 @@ class PCPStatus(enum.IntEnum):
     PM_ERR_PMID = -12358       # unknown metric id
     PM_ERR_INDOM_INST = -12361  # unknown instance
     PM_ERR_PERMISSION = -12387  # agent refused access
+    PM_ERR_TIMEOUT = -12366    # request deadline exceeded
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +59,8 @@ class LookupResponse:
     pmids: Tuple[int, ...] = ()
     #: Per-name status for partial failures.
     name_status: Tuple[PCPStatus, ...] = ()
+    #: Daemon namespace generation (cache invalidation token).
+    generation: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +84,9 @@ class FetchResponse:
     #: Daemon timestamp of the fetch (simulated seconds).
     timestamp: float = 0.0
     metrics: Tuple[MetricValues, ...] = ()
+    generation: int = 0
+    #: Daemon incarnation serving this fetch; a change means restart.
+    boot_id: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,6 +102,7 @@ class ChildrenResponse:
     children: Tuple[str, ...] = ()
     #: True for leaf children (actual metrics).
     leaf_flags: Tuple[bool, ...] = ()
+    generation: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,3 +117,127 @@ Response = object  # any of the *Response dataclasses
 
 def ok(status: PCPStatus) -> bool:
     return status == PCPStatus.OK
+
+
+# ----------------------------------------------------------------------
+# Wire codec: one JSON object per line.
+
+_REQUEST_TYPES = {
+    cls.__name__: cls
+    for cls in (LookupRequest, FetchRequest, ChildrenRequest)
+}
+
+#: Fields decoded from JSON lists back into tuples.
+_TUPLE_FIELDS = ("names", "pmids")
+
+
+def _load_pdu(line) -> dict:
+    if isinstance(line, (bytes, bytearray)):
+        try:
+            line = bytes(line).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PCPError(f"malformed PDU (bad utf-8): {exc}") from None
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise PCPError(f"malformed PDU (bad JSON): {exc}") from None
+    if not isinstance(data, dict):
+        raise PCPError(
+            f"malformed PDU: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def encode_request(request) -> bytes:
+    name = type(request).__name__
+    if name not in _REQUEST_TYPES:
+        raise PCPError(f"cannot encode request type {name}")
+    payload = {"type": name}
+    payload.update(_dataclass_fields(request))
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode_request(line):
+    data = _load_pdu(line)
+    type_name = data.pop("type", None)
+    cls = _REQUEST_TYPES.get(type_name) if isinstance(type_name, str) else None
+    if cls is None:
+        raise PCPError(f"unknown request type in PDU: {type_name!r}")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - field_names)
+    if unknown:
+        # Reject explicitly: silently dropping fields would hide client
+        # bugs, and passing them through crashes the dataclass.
+        raise PCPError(
+            f"unexpected field(s) in {type_name} PDU: {unknown}")
+    for field in _TUPLE_FIELDS:
+        if field in data:
+            if not isinstance(data[field], (list, tuple)):
+                raise PCPError(
+                    f"field {field!r} of {type_name} PDU must be a list")
+            data[field] = tuple(data[field])
+    try:
+        return cls(**data)
+    except TypeError as exc:  # missing required fields
+        raise PCPError(f"malformed {type_name} PDU: {exc}") from None
+
+
+def encode_response(response) -> bytes:
+    name = type(response).__name__
+    payload = {"type": name}
+    payload.update(_dataclass_fields(response))
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def decode_response(line):
+    data = _load_pdu(line)
+    name = data.pop("type", None)
+    try:
+        if name == "LookupResponse":
+            return LookupResponse(
+                status=PCPStatus(data["status"]),
+                pmids=tuple(data["pmids"]),
+                name_status=tuple(PCPStatus(s) for s in data["name_status"]),
+                generation=int(data.get("generation", 0)),
+            )
+        if name == "FetchResponse":
+            return FetchResponse(
+                status=PCPStatus(data["status"]),
+                timestamp=data["timestamp"],
+                metrics=tuple(
+                    MetricValues(pmid=m["pmid"], values=m["values"])
+                    for m in data["metrics"]
+                ),
+                generation=int(data.get("generation", 0)),
+                boot_id=int(data.get("boot_id", 0)),
+            )
+        if name == "ChildrenResponse":
+            return ChildrenResponse(
+                status=PCPStatus(data["status"]),
+                children=tuple(data["children"]),
+                leaf_flags=tuple(data["leaf_flags"]),
+                generation=int(data.get("generation", 0)),
+            )
+        if name == "ErrorResponse":
+            return ErrorResponse(
+                status=PCPStatus(data["status"]),
+                detail=data.get("detail", ""),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PCPError(f"malformed {name} PDU: {exc}") from None
+    raise PCPError(f"unknown response type in PDU: {name!r}")
+
+
+def _jsonable(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return _dataclass_fields(value)
+    return value
+
+
+def _dataclass_fields(obj) -> dict:
+    return {key: _jsonable(value) for key, value in obj.__dict__.items()}

@@ -1,142 +1,157 @@
-"""PMCD over a real TCP socket.
+"""Concurrent PMCD over a real TCP socket.
 
 The in-process :class:`~repro.pcp.pmcd.PMCD` captures the architecture;
-this module adds the wire: a threaded TCP server speaking a
-line-delimited JSON encoding of the protocol PDUs, and a client
-transport that plugs into :class:`~repro.pcp.client.PmapiContext` by
-duck-typing the daemon's ``handle``/``pmns``/``round_trip_seconds``
-surface. It exists to demonstrate (and test) that the measurement path
-genuinely crosses a process-style boundary — the defining property of
-the PCP approach — without requiring multiple OS processes.
+this module adds the wire *and* the service layer: a concurrent TCP
+server that handles many simultaneous :class:`~repro.pcp.client.
+PmapiContext` clients, and a client transport with per-request
+timeouts, exponential-backoff retry and optional auto-reconnect. It
+exists to demonstrate (and test) that the measurement path genuinely
+crosses a process-style boundary — the defining property of the PCP
+approach — without requiring multiple OS processes.
+
+Service architecture::
+
+    conn thread (xN) --decode--> dispatch queue --> dispatcher thread
+         ^                                              |
+         |   response slot + event per request          v
+         +------ encode <--- fault injector <--- PMCD (one lock)
+
+One thread per connection parses line-delimited JSON PDUs and enqueues
+pending requests on a shared dispatch queue; a single dispatcher
+thread drains the queue in batches, **coalesces identical concurrent
+FetchRequests into one PMDA read**, and wakes the waiting connection
+threads, which consult the :class:`~repro.pcp.faults.FaultInjector`
+and write the responses back. Because every pending request owns its
+response slot and each connection thread only ever writes its own
+socket, responses cannot cross wires between clients by construction.
 
 Encoding: one JSON object per line, ``{"type": <RequestClass>,
-**fields}`` → ``{"type": <ResponseClass>, **fields}``.
+**fields}`` → ``{"type": <ResponseClass>, **fields}`` (codec in
+:mod:`repro.pcp.protocol`, re-exported here for compatibility).
 """
 
 from __future__ import annotations
 
-import json
+import queue as queue_module
 import socket
 import socketserver
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
-from ..errors import PCPError
+from ..errors import PCPError, PCPTimeout
 from . import protocol
+from .faults import FaultInjector, FaultKind
 from .pmcd import PMCD
-
-_REQUEST_TYPES = {
-    "LookupRequest": protocol.LookupRequest,
-    "FetchRequest": protocol.FetchRequest,
-    "ChildrenRequest": protocol.ChildrenRequest,
-}
-
-
-def encode_request(request) -> bytes:
-    name = type(request).__name__
-    if name not in _REQUEST_TYPES:
-        raise PCPError(f"cannot encode request type {name}")
-    payload = {"type": name}
-    payload.update(_dataclass_fields(request))
-    return (json.dumps(payload) + "\n").encode("utf-8")
+from .protocol import (  # noqa: F401 — codec re-exported for compatibility
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 
 
-def decode_request(line: bytes):
-    data = json.loads(line.decode("utf-8"))
-    cls = _REQUEST_TYPES.get(data.pop("type", None))
-    if cls is None:
-        raise PCPError(f"unknown request in PDU: {data}")
-    if "names" in data:
-        data["names"] = tuple(data["names"])
-    if "pmids" in data:
-        data["pmids"] = tuple(data["pmids"])
-    return cls(**data)
+class ServiceStats:
+    """Thread-safe counters describing the TCP service layer."""
+
+    _FIELDS = ("requests", "responses", "batches", "coalesced",
+               "max_queue_depth", "connections", "disconnects", "faults",
+               "dispatch_timeouts")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.responses = 0
+        self.batches = 0
+        #: Fetch PDUs answered by a PMDA read shared with another
+        #: in-flight request (requests saved by coalescing).
+        self.coalesced = 0
+        self.max_queue_depth = 0
+        self.connections = 0
+        self.disconnects = 0
+        self.faults = 0
+        self.dispatch_timeouts = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self._latency_n = 0
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + by)
+
+    def record_batch(self, depth: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latency_sum += seconds
+            self._latency_max = max(self._latency_max, seconds)
+            self._latency_n += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            out: Dict[str, float] = {f: getattr(self, f)
+                                     for f in self._FIELDS}
+            out["latency_avg_usec"] = int(
+                self._latency_sum / self._latency_n * 1e6
+            ) if self._latency_n else 0
+            out["latency_max_usec"] = int(self._latency_max * 1e6)
+            return out
 
 
-def encode_response(response) -> bytes:
-    name = type(response).__name__
-    payload = {"type": name}
-    payload.update(_dataclass_fields(response))
-    return (json.dumps(payload) + "\n").encode("utf-8")
+class _Pending:
+    """One request waiting for the dispatcher."""
 
+    __slots__ = ("request", "response", "ready", "enqueued_at")
 
-def decode_response(line: bytes):
-    data = json.loads(line.decode("utf-8"))
-    name = data.pop("type", None)
-    if name == "LookupResponse":
-        return protocol.LookupResponse(
-            status=protocol.PCPStatus(data["status"]),
-            pmids=tuple(data["pmids"]),
-            name_status=tuple(protocol.PCPStatus(s)
-                              for s in data["name_status"]),
-        )
-    if name == "FetchResponse":
-        return protocol.FetchResponse(
-            status=protocol.PCPStatus(data["status"]),
-            timestamp=data["timestamp"],
-            metrics=tuple(
-                protocol.MetricValues(pmid=m["pmid"], values=m["values"])
-                for m in data["metrics"]
-            ),
-        )
-    if name == "ChildrenResponse":
-        return protocol.ChildrenResponse(
-            status=protocol.PCPStatus(data["status"]),
-            children=tuple(data["children"]),
-            leaf_flags=tuple(data["leaf_flags"]),
-        )
-    if name == "ErrorResponse":
-        return protocol.ErrorResponse(
-            status=protocol.PCPStatus(data["status"]),
-            detail=data.get("detail", ""),
-        )
-    raise PCPError(f"unknown response in PDU: {name}")
-
-
-def _jsonable(value):
-    import enum
-
-    if isinstance(value, enum.Enum):
-        return value.value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {k: _jsonable(v) for k, v in value.items()}
-    if hasattr(value, "__dict__") and not isinstance(value, type):
-        return _dataclass_fields(value)
-    return value
-
-
-def _dataclass_fields(obj) -> dict:
-    return {key: _jsonable(value) for key, value in obj.__dict__.items()}
+    def __init__(self, request) -> None:
+        self.request = request
+        self.response = None
+        self.ready = threading.Event()
+        self.enqueued_at = time.monotonic()
 
 
 class PMCDServer:
-    """Serves one PMCD instance over TCP (threaded, loopback)."""
+    """Serves one PMCD instance over TCP to many concurrent clients."""
 
-    def __init__(self, pmcd: PMCD, host: str = "127.0.0.1", port: int = 0):
+    #: Dispatcher poll interval while the queue is empty.
+    DISPATCH_POLL_SECONDS = 0.02
+    #: Upper bound on requests drained into one dispatch batch.
+    MAX_BATCH = 256
+
+    def __init__(self, pmcd: PMCD, host: str = "127.0.0.1", port: int = 0,
+                 fault_injector: Optional[FaultInjector] = None,
+                 coalesce: bool = True, response_timeout: float = 10.0):
         self.pmcd = pmcd
-        handler_pmcd = pmcd
+        self.coalesce = coalesce
+        self.response_timeout = response_timeout
+        self.stats = ServiceStats()
+        self.faults = fault_injector or FaultInjector()
+        # Export service counters through the pmcd.* self-metrics PMDA.
+        pmcd.service_stats = self.stats
+        self._queue: "queue_module.Queue[_Pending]" = queue_module.Queue()
+        self._gate = threading.Event()
+        self._gate.set()
+        self._stopping = threading.Event()
+        self._pmcd_lock = threading.Lock()
+        self._conns: set = set()
+        self._conn_lock = threading.Lock()
+        outer = self
 
         class Handler(socketserver.StreamRequestHandler):
             def handle(self) -> None:
-                for line in self.rfile:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        request = decode_request(line)
-                        response = handler_pmcd.handle(request)
-                    except Exception as exc:  # malformed PDU
-                        response = protocol.ErrorResponse(
-                            protocol.PCPStatus.PM_ERR_PMID, str(exc))
-                    self.wfile.write(encode_response(response))
-                    self.wfile.flush()
+                outer._register_conn(self.connection)
+                try:
+                    outer._serve_connection(self.rfile, self.wfile)
+                finally:
+                    outer._unregister_conn(self.connection)
 
-        self._server = socketserver.ThreadingTCPServer(
-            (host, port), Handler)
+        self._server = socketserver.ThreadingTCPServer((host, port), Handler)
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     @property
@@ -144,16 +159,188 @@ class PMCDServer:
         return self._server.server_address
 
     def start(self) -> "PMCDServer":
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            daemon=True)
+        self._dispatcher.start()
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         daemon=True)
         self._thread.start()
         return self
 
     def stop(self) -> None:
+        self._stopping.set()
+        self._gate.set()
         self._server.shutdown()
         self._server.server_close()
+        self._drop_all_connections()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5)
         if self._thread is not None:
             self._thread.join(timeout=5)
+        # Handler threads unregister as they unwind from the dropped
+        # sockets; wait so a clean stop reports zero open connections.
+        deadline = time.monotonic() + 5.0
+        while self.open_connections and time.monotonic() < deadline:
+            time.sleep(0.005)
+
+    def restart(self) -> None:
+        """Simulate a pmcd crash + restart.
+
+        Every live client connection is dropped and the daemon's
+        in-memory state resets (boot id bump → clients flag a gap).
+        The listening socket survives, as systemd socket activation
+        would provide, so clients with auto-reconnect resume.
+        """
+        with self._pmcd_lock:
+            self.pmcd.restart()
+        self._drop_all_connections()
+
+    # ------------------------------------------------------------------
+    def pause_dispatch(self) -> None:
+        """Hold dispatching so concurrent requests pile up in the
+        queue (used by tests to make coalescing deterministic)."""
+        self._gate.clear()
+
+    def resume_dispatch(self) -> None:
+        self._gate.set()
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def open_connections(self) -> int:
+        with self._conn_lock:
+            return len(self._conns)
+
+    # ------------------------------------------------------------------
+    def _register_conn(self, conn) -> None:
+        self.stats.bump("connections")
+        with self._conn_lock:
+            self._conns.add(conn)
+
+    def _unregister_conn(self, conn) -> None:
+        self.stats.bump("disconnects")
+        with self._conn_lock:
+            self._conns.discard(conn)
+
+    def _drop_all_connections(self) -> None:
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, rfile, wfile) -> None:
+        try:
+            self._serve_lines(rfile, wfile)
+        except (OSError, ValueError):
+            # The socket was force-dropped under us (fault injection,
+            # restart, shutdown) — a normal way for a session to end,
+            # not something to dump a traceback over.
+            return
+
+    def _serve_lines(self, rfile, wfile) -> None:
+        for line in rfile:
+            line = line.strip()
+            if not line:
+                continue
+            self.stats.bump("requests")
+            try:
+                request = protocol.decode_request(line)
+            except PCPError as exc:
+                response = protocol.ErrorResponse(
+                    protocol.PCPStatus.PM_ERR_PMID, str(exc))
+            else:
+                pending = _Pending(request)
+                self._queue.put(pending)
+                if pending.ready.wait(self.response_timeout):
+                    response = pending.response
+                else:
+                    self.stats.bump("dispatch_timeouts")
+                    response = protocol.ErrorResponse(
+                        protocol.PCPStatus.PM_ERR_TIMEOUT,
+                        "pmcd dispatch timed out")
+            if not self._write_response(wfile, response):
+                return
+
+    def _write_response(self, wfile, response) -> bool:
+        """Apply any scheduled fault, then send. False = close conn."""
+        action = self.faults.next_action()
+        if action is not None:
+            self.stats.bump("faults")
+            if action.kind is FaultKind.DROP_CONNECTION:
+                return False
+            if action.kind is FaultKind.SLOW_RESPONSE:
+                time.sleep(action.seconds)
+        payload = protocol.encode_response(response)
+        if action is not None and action.kind is FaultKind.TRUNCATE_PDU:
+            payload = payload[:max(1, len(payload) // 2)]
+        try:
+            wfile.write(payload)
+            wfile.flush()
+        except OSError:
+            return False
+        if action is not None and action.kind is FaultKind.TRUNCATE_PDU:
+            return False
+        self.stats.bump("responses")
+        return True
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                first = self._queue.get(timeout=self.DISPATCH_POLL_SECONDS)
+            except queue_module.Empty:
+                continue
+            # If dispatch was paused while we were blocked in get(),
+            # hold the request so the batch accumulates behind it.
+            while not self._gate.is_set() and not self._stopping.is_set():
+                self._gate.wait(timeout=0.1)
+            batch = [first]
+            while len(batch) < self.MAX_BATCH:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue_module.Empty:
+                    break
+            self.stats.record_batch(len(batch))
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: List[_Pending]) -> None:
+        """Serve one drained batch, coalescing identical fetches."""
+        groups: Dict[tuple, List[_Pending]] = {}
+        order: List[Tuple[Optional[tuple], _Pending]] = []
+        for pending in batch:
+            if self.coalesce and isinstance(pending.request,
+                                            protocol.FetchRequest):
+                key = pending.request.pmids
+                if key in groups:
+                    groups[key].append(pending)
+                    self.stats.bump("coalesced")
+                    continue
+                groups[key] = [pending]
+                order.append((key, pending))
+            else:
+                order.append((None, pending))
+        for key, pending in order:
+            with self._pmcd_lock:
+                try:
+                    response = self.pmcd.handle(pending.request)
+                except Exception as exc:  # daemon bug: fail the request
+                    response = protocol.ErrorResponse(
+                        protocol.PCPStatus.PM_ERR_PMID, str(exc))
+            members = groups[key] if key is not None else [pending]
+            done = time.monotonic()
+            for member in members:
+                member.response = response
+                self.stats.record_latency(done - member.enqueued_at)
+                member.ready.set()
 
 
 class RemotePMCD:
@@ -162,39 +349,144 @@ class RemotePMCD:
     Duck-types the surface :class:`~repro.pcp.client.PmapiContext`
     uses (``handle``, ``pmns``, ``round_trip_seconds``), so the whole
     PAPI PCP component works unchanged across the socket. ``pmns``
-    access is served by traversing the remote namespace once via
+    access is served by traversing the remote namespace via
     ChildrenRequest PDUs.
+
+    Fault tolerance: each request has a deadline
+    (``request_timeout``); a timed-out or failed request is retried up
+    to ``max_retries`` times with exponential backoff, reconnecting
+    first because a timed-out byte stream may still carry the stale
+    response (which would cross-wire every request after it). With
+    ``auto_reconnect=True`` the transport also re-dials after the
+    daemon drops the connection (e.g. a restart) — the daemon's
+    ``boot_id`` then tells the :class:`~repro.pcp.client.PmapiContext`
+    to flag a measurement gap.
     """
 
     def __init__(self, host: str, port: int,
                  round_trip_seconds: float = PMCD.DEFAULT_ROUND_TRIP,
-                 timeout: float = 10.0):
+                 timeout: float = 10.0,
+                 request_timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_base_seconds: float = 0.01,
+                 auto_reconnect: bool = False):
+        self.host = host
+        self.port = port
         self.round_trip_seconds = round_trip_seconds
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+        self.connect_timeout = timeout
+        self.request_timeout = (timeout if request_timeout is None
+                                else request_timeout)
+        self.max_retries = max_retries
+        self.backoff_base_seconds = backoff_base_seconds
+        self.auto_reconnect = auto_reconnect
         self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
         self._pmns = None
+        self.requests = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout)
+        self._sock.settimeout(self.request_timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        for closer in (self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._rfile = None
+        self._sock = None
+
+    def _reconnect(self) -> None:
+        self._teardown()
+        self._connect()
+        self.reconnects += 1
 
     # ------------------------------------------------------------------
     def handle(self, request):
+        payload = encode_request(request)
         with self._lock:
-            self._sock.sendall(encode_request(request))
-            line = self._rfile.readline()
-        if not line:
-            raise PCPError("connection to pmcd lost")
-        return decode_response(line)
+            self.requests += 1
+            last_error: Optional[Exception] = None
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self.retries += 1
+                    time.sleep(self.backoff_base_seconds
+                               * (2 ** (attempt - 1)))
+                    try:
+                        self._reconnect()
+                    except OSError as exc:
+                        last_error = exc
+                        continue
+                started = time.monotonic()
+                try:
+                    self._sock.sendall(payload)
+                    line = self._rfile.readline()
+                except socket.timeout:
+                    self.timeouts += 1
+                    last_error = PCPTimeout(
+                        f"pmcd request timed out after "
+                        f"{self.request_timeout}s")
+                    continue  # stream poisoned: reconnect before retry
+                except OSError as exc:
+                    last_error = exc
+                    if not self.auto_reconnect:
+                        break
+                    continue
+                if not line:
+                    last_error = PCPError("connection to pmcd lost")
+                    if not self.auto_reconnect:
+                        break
+                    continue
+                try:
+                    response = decode_response(line)
+                except PCPError as exc:  # truncated/corrupt PDU
+                    last_error = exc
+                    if not self.auto_reconnect:
+                        break
+                    continue
+                elapsed = time.monotonic() - started
+                self._latency_sum += elapsed
+                self._latency_max = max(self._latency_max, elapsed)
+                return response
+        if isinstance(last_error, PCPError):
+            raise last_error
+        raise PCPError(
+            f"pmcd request failed after {self.max_retries + 1} "
+            f"attempt(s): {last_error}")
 
+    # ------------------------------------------------------------------
     @property
     def pmns(self):
         if self._pmns is None:
             self._pmns = _RemotePMNS(self)
         return self._pmns
 
+    def transport_stats(self) -> Dict[str, float]:
+        """Client-side service counters (latency, retries, reconnects)."""
+        served = max(1, self.requests)
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "reconnects": self.reconnects,
+            "latency_avg_usec": int(self._latency_sum / served * 1e6),
+            "latency_max_usec": int(self._latency_max * 1e6),
+        }
+
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
 
 class _RemotePMNS:

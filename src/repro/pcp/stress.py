@@ -1,0 +1,128 @@
+"""Concurrency stress harness for the PCP service layer.
+
+Drives N concurrent :class:`~repro.pcp.client.PmapiContext` clients —
+each over its own TCP :class:`~repro.pcp.server.RemotePMCD` transport
+— against one live :class:`~repro.pcp.server.PMCDServer`, and verifies
+the service invariants as it goes:
+
+* **no cross-wired responses**: every fetch must return exactly the
+  PMIDs that were requested on that connection;
+* **monotone fetch timestamps** per client (the daemon clock never
+  runs backwards);
+* **coalescing saves PMDA reads**: with many clients fetching the same
+  PMIDs, the daemon's ``pmda_fetch_calls`` stays strictly below the
+  naive per-request count.
+
+Used by the ``repro-experiments pcp-stress`` CLI command and the
+concurrency test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..machine.config import get_machine
+from ..machine.node import Node
+from ..noise import QUIET
+from ..pmu.events import pcp_metric_name
+from .client import PmapiContext
+from .faults import FaultInjector
+from .pmcd import start_pmcd_for_node
+from .server import PMCDServer, RemotePMCD
+
+
+def run_stress(n_clients: int = 8, n_fetches: int = 32,
+               machine: str = "summit", seed: int = 1,
+               coalesce: bool = True,
+               fault_injector: Optional[FaultInjector] = None,
+               server: Optional[PMCDServer] = None) -> Dict[str, object]:
+    """Run the stress scenario and return a flat stats report.
+
+    Every client resolves the full 16-metric nest set plus one
+    client-specific metric, then alternates fetching the shared set
+    (coalescible across clients) and its own single PMID (must never
+    be answered with another client's response).
+    """
+    node = Node(get_machine(machine), seed=seed, noise=QUIET)
+    own_server = server is None
+    if own_server:
+        pmcd = start_pmcd_for_node(node)
+        server = PMCDServer(pmcd, coalesce=coalesce,
+                            fault_injector=fault_injector).start()
+    else:
+        pmcd = server.pmcd
+    n_channels = node.config.socket.n_memory_channels
+    shared_metrics = [pcp_metric_name(channel, write)
+                      for channel in range(n_channels)
+                      for write in (False, True)]
+    errors: List[str] = []
+    cross_wired = [0]
+    non_monotone = [0]
+    report_lock = threading.Lock()
+    barrier = threading.Barrier(n_clients)
+
+    def worker(index: int) -> None:
+        own_metric = pcp_metric_name(index % n_channels,
+                                     write=bool(index % 2))
+        remote = None
+        try:
+            remote = RemotePMCD(*server.address, round_trip_seconds=0.0,
+                                auto_reconnect=True, max_retries=3,
+                                backoff_base_seconds=0.005)
+            context = PmapiContext(remote, node=None, cache_lookups=True)
+            shared_pmids = context.lookup_names(shared_metrics)
+            own_pmid = context.lookup_names([own_metric])[0]
+            barrier.wait()
+            last_timestamp = None
+            for i in range(n_fetches):
+                pmids = [own_pmid] if i % 2 else shared_pmids
+                values = context.fetch(pmids)
+                if set(values) != set(pmids):
+                    with report_lock:
+                        cross_wired[0] += 1
+                timestamp = context.last_fetch_timestamp
+                if last_timestamp is not None and timestamp < last_timestamp:
+                    with report_lock:
+                        non_monotone[0] += 1
+                last_timestamp = timestamp
+        except Exception as exc:  # surfaced in the report, not swallowed
+            with report_lock:
+                errors.append(f"client {index}: {exc!r}")
+        finally:
+            if remote is not None:
+                remote.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    service = server.stats.snapshot()
+    daemon = pmcd.stats.snapshot()
+    if own_server:
+        server.stop()
+    total_fetches = n_clients * n_fetches
+    # What serving each fetch PDU individually would have cost in PMDA
+    # reads: half the fetches carry the 16-metric shared set, half one.
+    naive_pmda_calls = (n_clients
+                        * ((n_fetches - n_fetches // 2) * len(shared_metrics)
+                           + n_fetches // 2))
+    return {
+        "clients": n_clients,
+        "fetches_per_client": n_fetches,
+        "total_fetches": total_fetches,
+        "errors": errors,
+        "cross_wired": cross_wired[0],
+        "non_monotone_timestamps": non_monotone[0],
+        "pmda_fetch_calls": daemon["pmda_fetch_calls"],
+        "naive_pmda_calls": naive_pmda_calls,
+        "coalesced": service["coalesced"],
+        "batches": service["batches"],
+        "max_queue_depth": service["max_queue_depth"],
+        "latency_avg_usec": service["latency_avg_usec"],
+        "latency_max_usec": service["latency_max_usec"],
+        "connections": service["connections"],
+        "faults_injected": service["faults"],
+    }

@@ -1,0 +1,45 @@
+"""Golden-figure regression: fig2-fig5 reproduce frozen fixtures.
+
+The fixtures under ``tests/golden/`` were generated from the seed
+implementation *before* the concurrent PCP service layer landed. They
+must keep passing bit-exactly: the daemon-mediated measurement path may
+gain batching, caching and fault tolerance, but it must not perturb the
+traffic the paper's figures report.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+FIGURES = ("fig2", "fig3", "fig4", "fig5")
+
+
+def _plain(cell):
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
+@pytest.mark.parametrize("figure_id", FIGURES)
+def test_figure_matches_golden(figure_id):
+    with open(GOLDEN_DIR / f"{figure_id}.json") as fh:
+        golden = json.load(fh)
+    result = run_experiment(figure_id)
+    assert result.experiment_id == golden["experiment_id"]
+    assert result.title == golden["title"]
+    assert list(result.headers) == golden["headers"]
+    rows = [[_plain(c) for c in row] for row in result.rows]
+    assert len(rows) == len(golden["rows"])
+    for i, (got, want) in enumerate(zip(rows, golden["rows"])):
+        assert got == want, (
+            f"{figure_id} row {i} diverged from the frozen seed "
+            f"measurement:\n got: {got}\nwant: {want}")
+
+
+def test_fixtures_cover_all_figures():
+    present = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+    assert present == sorted(FIGURES)

@@ -1,0 +1,172 @@
+"""Concurrency: many PmapiContext clients against one live TCP pmcd.
+
+Service invariants under concurrent load:
+
+* no lost or cross-wired responses (every fetch answers exactly the
+  PMIDs asked on that connection),
+* monotone fetch timestamps per client,
+* coalescing invokes the PMDA strictly fewer times than the naive
+  per-request count,
+* clean shutdown with all sockets closed.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.machine.config import SUMMIT
+from repro.machine.node import Node
+from repro.noise import QUIET
+from repro.pcp.client import PmapiContext
+from repro.pcp.pmcd import start_pmcd_for_node
+from repro.pcp.server import PMCDServer, RemotePMCD
+from repro.pcp.stress import run_stress
+from repro.pmu.events import pcp_metric_name
+
+ALL_METRICS = [pcp_metric_name(channel, write)
+               for channel in range(8) for write in (False, True)]
+
+
+@pytest.fixture
+def node():
+    return Node(SUMMIT, seed=11, noise=QUIET)
+
+
+@pytest.fixture
+def server(node):
+    server = PMCDServer(start_pmcd_for_node(node)).start()
+    yield server
+    server.stop()
+
+
+class TestStressRun:
+    def test_eight_clients_no_cross_wiring(self):
+        report = run_stress(n_clients=8, n_fetches=12, seed=3)
+        assert report["errors"] == []
+        assert report["cross_wired"] == 0
+        assert report["non_monotone_timestamps"] == 0
+        assert report["total_fetches"] == 8 * 12
+        assert report["connections"] >= 8
+
+    @pytest.mark.slow
+    def test_sixteen_clients_sustained(self):
+        report = run_stress(n_clients=16, n_fetches=64, seed=5)
+        assert report["errors"] == []
+        assert report["cross_wired"] == 0
+        assert report["non_monotone_timestamps"] == 0
+
+    def test_coalescing_disabled_still_correct(self):
+        report = run_stress(n_clients=4, n_fetches=8, seed=7,
+                            coalesce=False)
+        assert report["errors"] == []
+        assert report["cross_wired"] == 0
+        assert report["coalesced"] == 0
+        # Without coalescing every fetch PDU pays its own PMDA reads.
+        assert report["pmda_fetch_calls"] == report["naive_pmda_calls"]
+
+
+class TestCoalescing:
+    def test_concurrent_identical_fetches_share_one_pmda_read(self, server):
+        """8 clients fetch the same PMIDs while dispatch is paused; on
+        resume the batch is served with ONE PMDA read per PMID —
+        strictly fewer than the naive per-request count."""
+        n_clients = 8
+        remotes = [RemotePMCD(*server.address, round_trip_seconds=0.0)
+                   for _ in range(n_clients)]
+        contexts = [PmapiContext(r) for r in remotes]
+        pmids = contexts[0].lookup_names(ALL_METRICS)
+        for context in contexts[1:]:
+            assert context.lookup_names(ALL_METRICS) == pmids
+        calls_before = server.pmcd.stats.pmda_fetch_calls
+        requests_before = server.stats.snapshot()["requests"]
+        server.pause_dispatch()
+        results = [None] * n_clients
+        errors = []
+
+        def fetch(i):
+            try:
+                results[i] = contexts[i].fetch(pmids)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        # All 8 fetches pile up behind the paused dispatcher (which may
+        # already hold one request at the gate, hence n_clients - 1).
+        deadline = 250
+        while deadline:
+            received = (server.stats.snapshot()["requests"]
+                        - requests_before)
+            if (received >= n_clients
+                    and server.queue_depth() >= n_clients - 1):
+                break
+            threading.Event().wait(0.02)
+            deadline -= 1
+        assert server.queue_depth() >= n_clients - 1
+        threading.Event().wait(0.1)  # let the last enqueue land
+        server.resume_dispatch()
+        for t in threads:
+            t.join(timeout=10)
+        for r in remotes:
+            r.close()
+        assert not errors
+        naive = n_clients * len(pmids)
+        actual = server.pmcd.stats.pmda_fetch_calls - calls_before
+        assert actual == len(pmids)       # one read per PMID, shared
+        assert actual < naive             # strictly fewer than naive
+        assert server.stats.coalesced >= n_clients - 1
+        # Every client still got its own complete answer.
+        for values in results:
+            assert set(values) == set(pmids)
+
+    def test_distinct_pmid_sets_not_coalesced(self, server):
+        remote = RemotePMCD(*server.address, round_trip_seconds=0.0)
+        context = PmapiContext(remote)
+        pmids = context.lookup_names(ALL_METRICS)
+        context.fetch(pmids[:4])
+        context.fetch(pmids[4:8])
+        assert server.stats.coalesced == 0
+        remote.close()
+
+
+class TestTimestampsAndShutdown:
+    def test_monotone_timestamps_single_client(self, server, node):
+        remote = RemotePMCD(*server.address, round_trip_seconds=0.0)
+        context = PmapiContext(remote)
+        pmids = context.lookup_names(ALL_METRICS[:2])
+        stamps = []
+        for _ in range(5):
+            context.fetch(pmids)
+            stamps.append(context.last_fetch_timestamp)
+            node.advance(0.5)
+        assert stamps == sorted(stamps)
+        remote.close()
+
+    def test_clean_shutdown_closes_sockets(self, node):
+        server = PMCDServer(start_pmcd_for_node(node)).start()
+        remotes = [RemotePMCD(*server.address, round_trip_seconds=0.0)
+                   for _ in range(4)]
+        contexts = [PmapiContext(r) for r in remotes]
+        for context in contexts:
+            context.lookup_names(ALL_METRICS[:1])
+        address = server.address
+        server.stop()
+        assert server.open_connections == 0
+        assert not server._dispatcher.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+        for r in remotes:
+            r.close()
+
+    def test_queue_depth_counter_surfaces(self, server):
+        remote = RemotePMCD(*server.address, round_trip_seconds=0.0)
+        context = PmapiContext(remote)
+        context.lookup_names(ALL_METRICS[:1])
+        snapshot = server.stats.snapshot()
+        assert snapshot["max_queue_depth"] >= 1
+        assert snapshot["requests"] >= 1
+        assert snapshot["latency_max_usec"] >= 0
+        remote.close()

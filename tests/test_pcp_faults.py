@@ -1,0 +1,239 @@
+"""Fault injection: the PCP service degrades loudly and recoverably.
+
+Covers the degraded modes introduced by the service layer: dropped
+connections, slow responses (client timeout → retry with backoff →
+PCPError), truncated PDUs, and daemon restart mid-session (gap flag,
+never corrupted counters).
+"""
+
+import pytest
+
+from repro.errors import PCPError, PCPTimeout
+from repro.machine.config import SUMMIT
+from repro.machine.node import Node
+from repro.noise import QUIET
+from repro.pcp.client import PmapiContext
+from repro.pcp.faults import FaultInjector, FaultKind
+from repro.pcp.pmcd import start_pmcd_for_node
+from repro.pcp.pmlogger import PmLogger
+from repro.pcp.server import PMCDServer, RemotePMCD
+from repro.pmu.events import pcp_metric_name
+
+METRIC = pcp_metric_name(0, write=False)
+
+
+@pytest.fixture
+def node():
+    return Node(SUMMIT, seed=21, noise=QUIET)
+
+
+@pytest.fixture
+def faults():
+    return FaultInjector()
+
+
+@pytest.fixture
+def server(node, faults):
+    server = PMCDServer(start_pmcd_for_node(node),
+                        fault_injector=faults).start()
+    yield server
+    server.stop()
+
+
+def _remote(server, **kwargs):
+    kwargs.setdefault("round_trip_seconds", 0.0)
+    return RemotePMCD(*server.address, **kwargs)
+
+
+class TestFaultInjector:
+    def test_fifo_plan(self, faults):
+        faults.drop_connections(1)
+        faults.slow_responses(2, seconds=0.5)
+        assert faults.pending() == 3
+        assert faults.next_action().kind is FaultKind.DROP_CONNECTION
+        assert faults.next_action().seconds == 0.5
+        assert faults.pending() == 1
+        assert faults.next_action() is not None
+        assert faults.next_action() is None
+        assert faults.injected == 3
+        faults.truncate_pdus(2)
+        assert faults.pending() == 2
+        faults.clear()
+        assert faults.pending() == 0
+        assert faults.next_action() is None
+        assert faults.injected == 3  # cleared actions never fired
+
+    def test_empty_plan_is_noop(self, faults):
+        assert faults.next_action() is None
+        assert faults.injected == 0
+
+
+class TestDroppedConnection:
+    def test_drop_without_reconnect_raises(self, server, faults):
+        remote = _remote(server, auto_reconnect=False)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        faults.drop_connections(1)
+        with pytest.raises(PCPError):
+            client.fetch(pmids)
+        remote.close()
+
+    def test_drop_with_reconnect_recovers(self, server, faults):
+        remote = _remote(server, auto_reconnect=True, max_retries=3,
+                         backoff_base_seconds=0.005)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        faults.drop_connections(1)
+        values = client.fetch(pmids)
+        assert set(values) == set(pmids)
+        assert remote.reconnects >= 1
+        assert remote.retries >= 1
+        remote.close()
+
+
+class TestTruncatedPDU:
+    def test_truncated_pdu_is_pcp_error(self, server, faults):
+        remote = _remote(server, auto_reconnect=False)
+        client = PmapiContext(remote)
+        faults.truncate_pdus(1)
+        with pytest.raises(PCPError):
+            client.lookup_names([METRIC])
+        remote.close()
+
+    def test_truncated_pdu_recovers_with_reconnect(self, server, faults):
+        remote = _remote(server, auto_reconnect=True, max_retries=3,
+                         backoff_base_seconds=0.005)
+        client = PmapiContext(remote)
+        faults.truncate_pdus(1)
+        assert client.lookup_names([METRIC])
+        assert remote.reconnects >= 1
+        remote.close()
+
+
+class TestTimeoutRetryBackoff:
+    def test_timed_out_fetch_retries_then_surfaces_pcp_error(
+            self, server, faults):
+        remote = _remote(server, request_timeout=0.08, max_retries=2,
+                         backoff_base_seconds=0.01)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        # Every attempt (1 original + 2 retries) hits a slow response
+        # far beyond the request deadline.
+        faults.slow_responses(5, seconds=0.5)
+        with pytest.raises(PCPTimeout):
+            client.fetch(pmids)
+        assert remote.timeouts == 3
+        assert remote.retries == 2
+        remote.close()
+
+    def test_timeout_then_recovery(self, server, faults):
+        remote = _remote(server, request_timeout=0.08, max_retries=2,
+                         backoff_base_seconds=0.01)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        faults.slow_responses(1, seconds=0.5)  # only the first attempt
+        values = client.fetch(pmids)
+        assert set(values) == set(pmids)
+        assert remote.timeouts == 1
+        assert remote.retries >= 1
+        remote.close()
+
+    def test_stale_response_never_cross_wires(self, server, faults, node):
+        """After a timeout the transport reconnects, so the stale
+        response of the timed-out request cannot be mistaken for the
+        answer to a later one."""
+        remote = _remote(server, request_timeout=0.08, max_retries=2,
+                         backoff_base_seconds=0.01)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        faults.slow_responses(1, seconds=0.3)
+        client.fetch(pmids)  # times out once, retried on a fresh socket
+        for _ in range(5):
+            values = client.fetch(pmids)
+            assert set(values) == set(pmids)
+        remote.close()
+
+
+class TestDaemonRestart:
+    def test_restart_mid_session_sets_gap_flag(self, server, node, faults):
+        remote = _remote(server, auto_reconnect=True, max_retries=3,
+                         backoff_base_seconds=0.005)
+        client = PmapiContext(remote)
+        pmids = client.lookup_names([METRIC])
+        node.socket(0).record_traffic(read_bytes=8 * 64)
+        before = client.fetch(pmids)
+        assert not client.gap_detected
+
+        server.restart()
+
+        node.socket(0).record_traffic(read_bytes=8 * 64)
+        after = client.fetch(pmids)
+        assert client.gap_detected
+        assert client.gaps == 1
+        # Counters are not corrupted: the nest hardware kept counting
+        # through the daemon outage.
+        instance = next(iter(before[pmids[0]]))
+        assert after[pmids[0]][instance] == 128
+        remote.close()
+
+    def test_restart_invalidates_lookup_cache(self, node):
+        pmcd = start_pmcd_for_node(node)
+        client = PmapiContext(pmcd, cache_lookups=True)
+        client.lookup_names([METRIC])
+        assert client.lookup_names([METRIC])  # served from cache
+        assert client.cached_lookups == 1
+        round_trips = client.round_trips
+        pmcd.restart()
+        client.fetch(client.lookup_names([METRIC]))  # cache hit, then fetch
+        # The fetch observes the new generation; the next lookup must
+        # go back to the daemon.
+        client.lookup_names([METRIC])
+        assert client.round_trips > round_trips + 1
+
+    def test_in_process_restart_gap(self, node):
+        pmcd = start_pmcd_for_node(node)
+        client = PmapiContext(pmcd)
+        pmids = client.lookup_names([METRIC])
+        client.fetch(pmids)
+        pmcd.restart()
+        client.fetch(pmids)
+        assert client.gaps == 1
+
+    def test_pmlogger_marks_gap_and_rates_skip_it(self, node):
+        pmcd = start_pmcd_for_node(node)
+        client = PmapiContext(pmcd, node=node)
+        logger = PmLogger(client, [METRIC], interval_seconds=1.0)
+
+        node.socket(0).record_traffic(read_bytes=64 * 64)
+        logger.sample()
+        node.advance(1.0)
+        node.socket(0).record_traffic(read_bytes=64 * 64)
+        logger.sample()
+
+        pmcd.restart()  # daemon crash between samples
+
+        node.advance(1.0)
+        node.socket(0).record_traffic(read_bytes=64 * 64)
+        logger.sample()
+        node.advance(1.0)
+        node.socket(0).record_traffic(read_bytes=64 * 64)
+        logger.sample()
+
+        records = logger.archive
+        assert [r.gap for r in records] == [False, False, True, False]
+        rates = logger.rates(METRIC, "cpu87")
+        # 3 intervals, minus the one ending at the gap record.
+        assert len(rates) == 2
+        for _, rate in rates:
+            # The nest counter ticks once per 8-byte word (64*64 bytes
+            # -> 512 counts); interval is 1s plus the fetch round trip.
+            assert rate == pytest.approx(64 * 64 / 8, rel=0.01)
+
+    def test_stopped_daemon_still_refuses(self, node):
+        pmcd = start_pmcd_for_node(node)
+        client = PmapiContext(pmcd)
+        pmcd.running = False
+        with pytest.raises(PCPError):
+            client.lookup_names([METRIC])
+        pmcd.restart()
+        assert client.lookup_names([METRIC])

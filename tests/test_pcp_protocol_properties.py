@@ -1,0 +1,178 @@
+"""Property-based round-trip tests for the PCP wire codec.
+
+Invariants:
+
+* any encodable request/response survives encode → decode unchanged;
+* malformed lines — bad JSON, non-objects, unknown types, unexpected
+  or missing fields, garbage bytes — raise :class:`PCPError`, never
+  ``KeyError``/``TypeError``; a hostile byte stream cannot crash the
+  daemon loop.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PCPError
+from repro.pcp import protocol
+from repro.pcp.protocol import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+# JSON round-trips arbitrary unicode; exclude surrogates which json
+# cannot encode.
+metric_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1,
+    max_size=40)
+pmids = st.integers(min_value=0, max_value=(1 << 31) - 1)
+statuses = st.sampled_from(list(protocol.PCPStatus))
+instance_values = st.dictionaries(
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+            min_size=1, max_size=16),
+    st.integers(min_value=0, max_value=1 << 62),
+    max_size=4)
+
+
+class TestRequestRoundTrip:
+    @given(st.tuples() | st.lists(metric_names, max_size=8).map(tuple))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_request(self, names):
+        request = protocol.LookupRequest(names=tuple(names))
+        assert decode_request(encode_request(request)) == request
+
+    @given(st.lists(pmids, max_size=16).map(tuple))
+    @settings(max_examples=50, deadline=None)
+    def test_fetch_request(self, ids):
+        request = protocol.FetchRequest(pmids=ids)
+        assert decode_request(encode_request(request)) == request
+
+    @given(metric_names | st.just(""))
+    @settings(max_examples=50, deadline=None)
+    def test_children_request(self, prefix):
+        request = protocol.ChildrenRequest(prefix=prefix)
+        assert decode_request(encode_request(request)) == request
+
+
+class TestResponseRoundTrip:
+    @given(statuses, st.lists(pmids, max_size=8).map(tuple), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_response(self, status, ids, generation):
+        response = protocol.LookupResponse(
+            status=status, pmids=ids,
+            name_status=tuple(protocol.PCPStatus.OK for _ in ids),
+            generation=generation)
+        assert decode_response(encode_response(response)) == response
+
+    @given(statuses,
+           st.floats(min_value=0, max_value=1e9, allow_nan=False),
+           st.lists(st.tuples(pmids, instance_values), max_size=4),
+           st.integers(0, 99), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_fetch_response(self, status, timestamp, metrics, gen, boot):
+        response = protocol.FetchResponse(
+            status=status, timestamp=timestamp,
+            metrics=tuple(protocol.MetricValues(pmid=p, values=v)
+                          for p, v in metrics),
+            generation=gen, boot_id=boot)
+        assert decode_response(encode_response(response)) == response
+
+    @given(statuses, st.lists(metric_names, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_children_response(self, status, children):
+        response = protocol.ChildrenResponse(
+            status=status, children=tuple(children),
+            leaf_flags=tuple(i % 2 == 0 for i in range(len(children))))
+        assert decode_response(encode_response(response)) == response
+
+    @given(statuses, metric_names | st.just(""))
+    @settings(max_examples=50, deadline=None)
+    def test_error_response(self, status, detail):
+        response = protocol.ErrorResponse(status=status, detail=detail)
+        assert decode_response(encode_response(response)) == response
+
+
+class TestMalformedLines:
+    """Malformed input raises PCPError — never KeyError/TypeError."""
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash_request_decode(self, blob):
+        try:
+            decode_request(blob)
+        except PCPError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash_response_decode(self, blob):
+        try:
+            decode_response(blob)
+        except PCPError:
+            pass
+
+    @given(st.dictionaries(
+        st.sampled_from(["type", "names", "pmids", "prefix", "status",
+                         "bogus", "extra"]),
+        st.none() | st.integers() | st.text(max_size=8)
+        | st.lists(st.integers(), max_size=3)))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_objects_never_crash_request_decode(self, obj):
+        line = json.dumps(obj).encode()
+        try:
+            decoded = decode_request(line)
+        except PCPError:
+            return
+        assert type(decoded).__name__ == obj.get("type")
+
+    def test_bad_json(self):
+        with pytest.raises(PCPError):
+            decode_request(b"{not json")
+
+    def test_non_object(self):
+        with pytest.raises(PCPError):
+            decode_request(b"[1, 2, 3]")
+        with pytest.raises(PCPError):
+            decode_response(b'"a string"')
+
+    def test_unknown_request_type(self):
+        with pytest.raises(PCPError):
+            decode_request(b'{"type": "NukeRequest"}')
+
+    def test_unknown_response_type(self):
+        with pytest.raises(PCPError):
+            decode_response(b'{"type": "NukeResponse"}')
+
+    def test_missing_required_field_is_pcp_error(self):
+        with pytest.raises(PCPError):
+            decode_request(b'{"type": "LookupRequest"}')
+
+    def test_unknown_extra_keys_rejected_explicitly(self):
+        # Regression: extra keys used to reach the dataclass constructor
+        # and crash with TypeError instead of a protocol-level error.
+        line = (b'{"type": "FetchRequest", "pmids": [1], '
+                b'"surprise": true}')
+        with pytest.raises(PCPError, match="surprise"):
+            decode_request(line)
+
+    def test_known_fields_still_accepted(self):
+        line = b'{"type": "FetchRequest", "pmids": [1, 2]}'
+        assert decode_request(line) == protocol.FetchRequest(pmids=(1, 2))
+
+    def test_non_list_pmids_rejected(self):
+        with pytest.raises(PCPError):
+            decode_request(b'{"type": "FetchRequest", "pmids": 7}')
+
+    def test_out_of_range_status_rejected(self):
+        with pytest.raises(PCPError):
+            decode_response(b'{"type": "ErrorResponse", "status": 12345}')
+
+    def test_truncated_pdu_rejected(self):
+        full = encode_response(protocol.FetchResponse(
+            status=protocol.PCPStatus.OK, timestamp=1.0))
+        with pytest.raises(PCPError):
+            decode_response(full[:len(full) // 2])
