@@ -15,11 +15,11 @@ import dataclasses
 
 import pytest
 
+from repro.bench import benchmark
 from repro.kernels import CappedGemv, Gemm
 from repro.measure import MeasurementSession, format_table
 from repro.noise import NoiseConfig
 
-SEED = 20230613
 FULL = NoiseConfig()
 NO_WINDOW = dataclasses.replace(
     FULL, background_read_rate=0.0, background_write_rate=0.0,
@@ -30,36 +30,46 @@ NO_PER_REP = dataclasses.replace(
     FULL, per_rep_read_bytes=0.0, per_rep_write_bytes=0.0)
 
 
-def test_ablation_noise_mechanisms(benchmark):
-    def run():
-        data = {}
-        # --- Fig 2 noise floor: owned by the window mechanisms -------
-        for label, cfg in (("full", FULL), ("no-window", NO_WINDOW)):
-            session = MeasurementSession("summit", seed=SEED, noise=cfg)
-            r = session.measure_kernel(Gemm(64), repetitions=1)
-            data[("fig2", label)] = r.read_ratio
-        # --- Fig 5 write excess: owned by the per-rep mechanism ------
-        for label, cfg in (("full", FULL), ("no-per-rep", NO_PER_REP)):
-            session = MeasurementSession("summit", seed=SEED, noise=cfg)
-            k = CappedGemv(m=512, n=512, p=512)
-            r = session.measure_kernel(k, n_cores=21, repetitions=388)
-            data[("fig5", label)] = r.write_ratio
-        return data
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+@benchmark("ablation-noise", tags=("ablation", "noise"))
+def bench_ablation_noise(ctx):
+    data = {}
+    # --- Fig 2 noise floor: owned by the window mechanisms -------
+    for label, cfg in (("full", FULL), ("no-window", NO_WINDOW)):
+        session = MeasurementSession("summit", seed=ctx.seed, noise=cfg)
+        r = session.measure_kernel(Gemm(64), repetitions=1)
+        data[("fig2", label)] = r.read_ratio
+    # --- Fig 5 write excess: owned by the per-rep mechanism ------
+    for label, cfg in (("full", FULL), ("no-per-rep", NO_PER_REP)):
+        session = MeasurementSession("summit", seed=ctx.seed, noise=cfg)
+        k = CappedGemv(m=512, n=512, p=512)
+        r = session.measure_kernel(k, n_cores=21, repetitions=388)
+        data[("fig5", label)] = r.write_ratio
+    ctx.log(format_table(
         ["feature", "noise config", "ratio"],
-        [["fig2 small-N read floor", "full", round(data[("fig2", "full")], 2)],
+        [["fig2 small-N read floor", "full",
+          round(data[("fig2", "full")], 2)],
          ["fig2 small-N read floor", "no-window",
           round(data[("fig2", "no-window")], 2)],
-         ["fig5 write excess", "full", round(data[("fig5", "full")], 2)],
+         ["fig5 write excess", "full",
+          round(data[("fig5", "full")], 2)],
          ["fig5 write excess", "no-per-rep",
           round(data[("fig5", "no-per-rep")], 2)]],
         title="[ablation] noise mechanisms vs figure features"))
+    return {
+        "fig2_full_ratio": data[("fig2", "full")],
+        "fig2_no_window_ratio": data[("fig2", "no-window")],
+        "fig5_full_write_ratio": data[("fig5", "full")],
+        "fig5_no_per_rep_write_dev": abs(
+            data[("fig5", "no-per-rep")] - 1.0),
+    }
+
+
+def test_ablation_noise_mechanisms(run_bench):
+    _, metrics = run_bench(bench_ablation_noise)
     # The floor is a window effect...
-    assert data[("fig2", "full")] > 3.0
-    assert data[("fig2", "no-window")] < 2.5
+    assert metrics["fig2_full_ratio"] > 3.0
+    assert metrics["fig2_no_window_ratio"] < 2.5
     # ...the write excess is a per-repetition effect.
-    assert data[("fig5", "full")] > 2.0
-    assert data[("fig5", "no-per-rep")] == pytest.approx(1.0, abs=0.15)
+    assert metrics["fig5_full_write_ratio"] > 2.0
+    assert metrics["fig5_no_per_rep_write_dev"] == pytest.approx(
+        0.0, abs=0.15)

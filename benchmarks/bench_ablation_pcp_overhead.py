@@ -10,8 +10,7 @@ measurements are "as accurate as" direct ones — the paper's central
 accuracy claim, quantified.
 """
 
-import pytest
-
+from repro.bench import benchmark
 from repro.kernels import Gemm
 from repro.measure import MeasurementSession, format_table, repetitions_for
 
@@ -19,37 +18,39 @@ SIZES = (64, 256, 1024)
 SEED = 4242
 
 
-def test_ablation_pcp_overhead(benchmark):
-    def run():
-        rows = []
-        data = {}
-        for n in SIZES:
-            reps = repetitions_for(n)
-            via_pcp = MeasurementSession("tellico", via="pcp", seed=SEED)
-            via_direct = MeasurementSession(
-                "tellico", via="perf_event_uncore", seed=SEED)
-            cores = via_pcp.batch_core_count()
-            a = via_pcp.measure_kernel(Gemm(n), n_cores=cores,
-                                       repetitions=reps)
-            b = via_direct.measure_kernel(Gemm(n), n_cores=cores,
-                                          repetitions=reps)
-            gap = abs(a.read_ratio - b.read_ratio)
-            rows.append([
-                n, round(a.runtime_per_rep * 1e3, 3),
-                round(a.read_ratio, 4), round(b.read_ratio, 4),
-                round(gap, 4),
-            ])
-            data[n] = {"gap": gap, "runtime": a.runtime_per_rep}
-        return rows, data
-
-    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+@benchmark("ablation-pcp-overhead", tags=("ablation", "pcp"))
+def bench_ablation_pcp_overhead(ctx):
+    rows = []
+    metrics = {}
+    for n in SIZES:
+        reps = repetitions_for(n)
+        via_pcp = MeasurementSession("tellico", via="pcp", seed=SEED)
+        via_direct = MeasurementSession(
+            "tellico", via="perf_event_uncore", seed=SEED)
+        cores = via_pcp.batch_core_count()
+        a = via_pcp.measure_kernel(Gemm(n), n_cores=cores,
+                                   repetitions=reps)
+        b = via_direct.measure_kernel(Gemm(n), n_cores=cores,
+                                      repetitions=reps)
+        gap = abs(a.read_ratio - b.read_ratio)
+        rows.append([
+            n, round(a.runtime_per_rep * 1e3, 3),
+            round(a.read_ratio, 4), round(b.read_ratio, 4),
+            round(gap, 4),
+        ])
+        metrics[f"n{n}_kernel_ms"] = a.runtime_per_rep * 1e3
+        metrics[f"n{n}_pcp_gap"] = gap
+    ctx.log(format_table(
         ["N", "kernel ms", "read ratio via PCP", "read ratio direct",
          "|gap|"],
         rows,
         title="[ablation] PCP daemon indirection vs direct reads "
               "(same machine)"))
+    return metrics
+
+
+def test_ablation_pcp_overhead(run_bench):
+    _, metrics = run_bench(bench_ablation_pcp_overhead)
     # Millisecond-and-up kernels: the two paths agree closely.
-    assert data[1024]["gap"] < 0.05
-    assert data[256]["gap"] < 0.10
+    assert metrics["n1024_pcp_gap"] < 0.05
+    assert metrics["n256_pcp_gap"] < 0.10

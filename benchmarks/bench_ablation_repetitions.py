@@ -14,8 +14,7 @@ the accuracy of fixed-500 while running ~50x fewer kernels; min-of-runs
 also suppresses the additive noise floor at 1 rep.
 """
 
-import pytest
-
+from repro.bench import benchmark
 from repro.kernels import Gemm
 from repro.measure import (
     MeasurementSession,
@@ -27,57 +26,58 @@ from repro.measure import (
 #: Noise-dominated sizes (well below the Eq. 3 boundary, so any error
 #: is measurement noise rather than genuine cache-spill divergence).
 SIZES = (96, 176, 256)
-SEED = 20230613
 
 
 def error(ratio):
     return abs(ratio - 1.0)
 
 
-def test_ablation_repetitions(benchmark):
-    def run():
-        session = MeasurementSession("summit", via="pcp", seed=SEED)
-        rows = []
-        data = {}
-        for n in SIZES:
-            kernel = Gemm(n)
-            # Expected single-repetition error: average over runs so a
-            # lucky draw does not masquerade as accuracy.
-            one_err = sum(
-                error(session.measure_kernel(kernel,
-                                             repetitions=1).read_ratio)
-                for _ in range(10)) / 10
-            eq5_reps = repetitions_for(n)
-            eq5 = session.measure_kernel(kernel, repetitions=eq5_reps)
-            fixed = session.measure_kernel(kernel, repetitions=500)
-            min_runs = aggregate(
-                [session.measure_kernel(kernel, repetitions=1).read_ratio
-                 for _ in range(15)], how="min")
-            rows.append([
-                n,
-                round(one_err, 4),
-                round(error(eq5.read_ratio), 4), eq5_reps,
-                round(error(fixed.read_ratio), 4),
-                round(error(min_runs), 4),
-            ])
-            data[n] = {
-                "one": one_err,
-                "eq5": error(eq5.read_ratio),
-                "fixed": error(fixed.read_ratio),
-                "min": error(min_runs),
-            }
-        return rows, data
-
-    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+@benchmark("ablation-repetitions", tags=("ablation", "methodology"))
+def bench_ablation_repetitions(ctx):
+    session = MeasurementSession("summit", via="pcp", seed=ctx.seed)
+    rows = []
+    metrics = {}
+    for n in SIZES:
+        kernel = Gemm(n)
+        # Expected single-repetition error: average over runs so a
+        # lucky draw does not masquerade as accuracy.
+        one_err = sum(
+            error(session.measure_kernel(kernel,
+                                         repetitions=1).read_ratio)
+            for _ in range(10)) / 10
+        eq5_reps = repetitions_for(n)
+        eq5 = session.measure_kernel(kernel, repetitions=eq5_reps)
+        fixed = session.measure_kernel(kernel, repetitions=500)
+        min_runs = aggregate(
+            [session.measure_kernel(kernel, repetitions=1).read_ratio
+             for _ in range(15)], how="min")
+        rows.append([
+            n,
+            round(one_err, 4),
+            round(error(eq5.read_ratio), 4), eq5_reps,
+            round(error(fixed.read_ratio), 4),
+            round(error(min_runs), 4),
+        ])
+        metrics[f"n{n}_one_rep_err"] = one_err
+        metrics[f"n{n}_eq5_err"] = error(eq5.read_ratio)
+        metrics[f"n{n}_eq5_reps"] = eq5_reps
+        metrics[f"n{n}_fixed_err"] = error(fixed.read_ratio)
+        metrics[f"n{n}_min_runs_err"] = error(min_runs)
+    ctx.log(format_table(
         ["N", "err @1 rep", "err @Eq.5", "Eq.5 reps", "err @500 reps",
          "err @min-of-15"],
         rows, title="[ablation] repetition & aggregation strategies"))
+    return metrics
+
+
+def test_ablation_repetitions(run_bench):
+    _, metrics = run_bench(bench_ablation_repetitions)
     for n in SIZES:
         # Eq. 5 always improves on a single repetition...
-        assert data[n]["eq5"] < data[n]["one"]
+        assert metrics[f"n{n}_eq5_err"] < metrics[f"n{n}_one_rep_err"]
         # ...and is within noise of the 50x-more-expensive fixed-500.
-        assert data[n]["eq5"] < data[n]["fixed"] + 0.05
+        assert (metrics[f"n{n}_eq5_err"]
+                < metrics[f"n{n}_fixed_err"] + 0.05)
         # min-of-runs also suppresses the additive noise floor.
-        assert data[n]["min"] < data[n]["one"]
+        assert (metrics[f"n{n}_min_runs_err"]
+                < metrics[f"n{n}_one_rep_err"])

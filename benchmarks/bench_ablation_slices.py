@@ -11,6 +11,7 @@ re-appropriation mechanism is load-bearing.
 
 import pytest
 
+from repro.bench import benchmark
 from repro.engine.executor import Executor
 from repro.kernels import Gemm
 from repro.machine.config import SUMMIT
@@ -21,44 +22,47 @@ from repro.noise import QUIET
 SIZES = (512, 1024, 1456)
 
 
-def test_ablation_slice_reappropriation(benchmark):
-    def run():
-        rows = []
-        data = {}
-        for n in SIZES:
-            kernel = Gemm(n)
-            expected = kernel.expected_traffic().read_bytes
-            node = Node(SUMMIT, seed=1, noise=QUIET)
-            executor = Executor(node)
-            with_reapp = executor.run(kernel, noisy=False).true_traffic
-            node2 = Node(SUMMIT, seed=1, noise=QUIET)
-            ablated = Executor(node2).run(
-                kernel, noisy=False,
-                assume_socket_busy=True).true_traffic
-            rows.append([
-                n,
-                round(with_reapp.read_bytes / expected, 2),
-                round(ablated.read_bytes / expected, 2),
-            ])
-            data[n] = (with_reapp.read_bytes / expected,
-                       ablated.read_bytes / expected)
-        return rows, data
-
-    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+@benchmark("ablation-slices", tags=("ablation", "cache"))
+def bench_ablation_slices(ctx):
+    rows = []
+    metrics = {}
+    for n in SIZES:
+        kernel = Gemm(n)
+        expected = kernel.expected_traffic().read_bytes
+        node = Node(SUMMIT, seed=1, noise=QUIET)
+        executor = Executor(node)
+        with_reapp = executor.run(kernel, noisy=False).true_traffic
+        node2 = Node(SUMMIT, seed=1, noise=QUIET)
+        ablated = Executor(node2).run(
+            kernel, noisy=False,
+            assume_socket_busy=True).true_traffic
+        rows.append([
+            n,
+            round(with_reapp.read_bytes / expected, 2),
+            round(ablated.read_bytes / expected, 2),
+        ])
+        metrics[f"n{n}_reappropriated_ratio"] = (
+            with_reapp.read_bytes / expected)
+        metrics[f"n{n}_confined_ratio"] = (
+            ablated.read_bytes / expected)
+    ctx.log(format_table(
         ["N", "read ratio (110 MB re-appropriated)",
          "read ratio (confined to 5 MB)"],
         rows,
         title="[ablation] single-thread GEMM with/without idle-slice "
               "re-appropriation"))
+    return metrics
+
+
+def test_ablation_slice_reappropriation(run_bench):
+    _, metrics = run_bench(bench_ablation_slices)
     # Below the boundary both stay near the expectation (the spill
     # mechanism already adds a mild excess to the re-appropriated case).
-    assert data[512][1] == pytest.approx(1.0, abs=0.1)
-    assert data[512][0] < 2.0
+    assert metrics["n512_confined_ratio"] == pytest.approx(1.0, abs=0.1)
+    assert metrics["n512_reappropriated_ratio"] < 2.0
     # Above it: re-appropriation keeps the divergence gradual (the
     # paper's observation); confinement would predict a drastic jump
     # at N ~ 809 that the measurements do not show.
     for n in (1024, 1456):
-        assert data[n][0] < 10
-        assert data[n][1] > 50
+        assert metrics[f"n{n}_reappropriated_ratio"] < 10
+        assert metrics[f"n{n}_confined_ratio"] > 50

@@ -12,6 +12,7 @@ exactly why that flag is the natural experimental control.
 
 import pytest
 
+from repro.bench import benchmark
 from repro.engine.analytic import CacheContext
 from repro.fft3d import LocalBlock, S1CFLoopNest1, S2CF
 from repro.machine.prefetch import SoftwarePrefetch
@@ -29,31 +30,37 @@ OBSERVED = {"s1cf-ln1": 1.0, "s2cf": 1.0}
 OBSERVED_WITH_FLAG = {"s1cf-ln1": 2.0, "s2cf": 2.0}
 
 
-def test_ablation_store_policy(benchmark):
-    def run():
-        rows = []
-        data = {}
-        for cls in (S1CFLoopNest1, S2CF):
-            kernel = cls(BLOCK)
-            with_policy = kernel.traffic(CTX).read_bytes / kernel.nbytes
-            ablated = kernel.traffic(CTX, NO_BYPASS).read_bytes / kernel.nbytes
-            rows.append([kernel.routine, round(with_policy, 3),
-                         round(ablated, 3), OBSERVED[kernel.routine],
-                         OBSERVED_WITH_FLAG[kernel.routine]])
-            data[kernel.routine] = (with_policy, ablated)
-        return rows, data
-
-    rows, data = benchmark.pedantic(run, rounds=1, iterations=1)
-    print()
-    print(format_table(
+@benchmark("ablation-store-policy", tags=("ablation", "cache"))
+def bench_ablation_store_policy(ctx):
+    rows = []
+    metrics = {}
+    for cls in (S1CFLoopNest1, S2CF):
+        kernel = cls(BLOCK)
+        with_policy = kernel.traffic(CTX).read_bytes / kernel.nbytes
+        ablated = kernel.traffic(CTX, NO_BYPASS).read_bytes / kernel.nbytes
+        rows.append([kernel.routine, round(with_policy, 3),
+                     round(ablated, 3), OBSERVED[kernel.routine],
+                     OBSERVED_WITH_FLAG[kernel.routine]])
+        metrics[f"{kernel.routine}_policy_read_dev"] = abs(
+            with_policy - OBSERVED[kernel.routine])
+        metrics[f"{kernel.routine}_no_bypass_reads"] = ablated
+    ctx.log(format_table(
         ["kernel", "reads/elem (policy model)", "reads/elem (no bypass)",
          "paper observed", "paper observed w/ flag"],
-        rows, title="[ablation] store-bypass policy vs naive write-allocate"))
-    for routine, (with_policy, ablated) in data.items():
+        rows, title="[ablation] store-bypass policy vs naive "
+                    "write-allocate"))
+    return metrics
+
+
+def test_ablation_store_policy(run_bench):
+    _, metrics = run_bench(bench_ablation_store_policy)
+    for routine, observed in OBSERVED.items():
+        with_flag = OBSERVED_WITH_FLAG[routine]
         # The policy model matches the paper's observation...
-        assert with_policy == pytest.approx(OBSERVED[routine], abs=0.05)
+        assert metrics[f"{routine}_policy_read_dev"] < 0.05
         # ...the ablated model contradicts it by a full read per element
-        assert ablated == pytest.approx(OBSERVED[routine] + 1.0, abs=0.05)
+        assert metrics[f"{routine}_no_bypass_reads"] == pytest.approx(
+            observed + 1.0, abs=0.05)
         # ...and coincides with the flag-enabled measurement (Fig 6b/9b).
-        assert ablated == pytest.approx(OBSERVED_WITH_FLAG[routine],
-                                        abs=0.05)
+        assert metrics[f"{routine}_no_bypass_reads"] == pytest.approx(
+            with_flag, abs=0.05)

@@ -7,11 +7,28 @@ the grid shape (degenerate 1xP / Px1 grids drop one exchange).
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_ext_gridshape(run_once):
-    result = run_once("ext-gridshape", n=1024)
+
+@benchmark("ext-gridshape", tags=("extension", "fft3d", "mpi"))
+def bench_ext_gridshape(ctx):
+    result = ctx.run_experiment("ext-gridshape", n=1024)
     per = result.extras["per_shape"]
+    return {
+        "s1cf_ratio_dev": max(abs(data["s1cf_ratio"] - 2.0)
+                              for data in per.values()),
+        "net_2x4_over_1x8": (per[(2, 4)]["net_bytes"]
+                             / per[(1, 8)]["net_bytes"]),
+        "net_2x4_over_8x1": (per[(2, 4)]["net_bytes"]
+                             / per[(8, 1)]["net_bytes"]),
+    }
+
+
+def test_ext_gridshape(run_bench):
+    ctx, metrics = run_bench(bench_ext_gridshape)
+    per = ctx.results["ext-gridshape"].extras["per_shape"]
     for shape, data in per.items():
         assert data["s1cf_ratio"] == pytest.approx(2.0, abs=0.1), shape
-    assert per[(2, 4)]["net_bytes"] > per[(1, 8)]["net_bytes"]
-    assert per[(2, 4)]["net_bytes"] > per[(8, 1)]["net_bytes"]
+    assert metrics["s1cf_ratio_dev"] < 0.1
+    assert metrics["net_2x4_over_1x8"] > 1.0
+    assert metrics["net_2x4_over_8x1"] > 1.0

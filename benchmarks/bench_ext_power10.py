@@ -8,17 +8,32 @@ step later than on Summit.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_ext_power10(run_once):
-    result = run_once("ext-power10")
+
+@benchmark("ext-power10", tags=("extension", "gemm"))
+def bench_ext_power10(ctx):
+    result = ctx.run_experiment("ext-power10")
     lo, hi = result.extras["band"]
-    assert lo == pytest.approx(591, abs=2)
-    assert hi == pytest.approx(1024, abs=2)
     batched = result.extras["batched"]
+    return {
+        "band_lo": lo,
+        "band_hi": hi,
+        "batched_512_dev": abs(batched[512] - 1.0),
+        "batched_720_dev": abs(batched[720] - 1.0),
+        "batched_1024_ratio": batched[1024],
+        "batched_2048_ratio": batched[2048],
+    }
+
+
+def test_ext_power10(run_bench):
+    ctx, metrics = run_bench(bench_ext_power10)
+    assert metrics["band_lo"] == pytest.approx(591, abs=2)
+    assert metrics["band_hi"] == pytest.approx(1024, abs=2)
     # Clean below the new boundary (the band's lower edge moved from
     # 467 to 591, so 512 now sits comfortably inside the cached regime).
-    assert batched[512] == pytest.approx(1.0, abs=0.05)
-    assert batched[720] == pytest.approx(1.0, abs=0.05)
+    assert metrics["batched_512_dev"] < 0.05
+    assert metrics["batched_720_dev"] < 0.05
     # The drastic jump begins at the new 8 MB boundary (N ~ 1024).
-    assert batched[1024] > 50
-    assert batched[2048] > 100
+    assert metrics["batched_1024_ratio"] > 50
+    assert metrics["batched_2048_ratio"] > 100

@@ -9,9 +9,28 @@ to an irregular access pattern.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_ext_spmv(run_once):
-    result = run_once("ext-spmv")
+
+@benchmark("ext-spmv", tags=("extension", "sparse"))
+def bench_ext_spmv(ctx):
+    result = ctx.run_experiment("ext-spmv")
+    per_nnz = result.extras["per_nnz"]
+    boundary = result.extras["boundary"]
+    cached = [v for n, v in per_nnz.items() if n < boundary]
+    amplified = [v for n, v in per_nnz.items() if n > boundary]
+    return {
+        "boundary": boundary,
+        "cached_sizes": len(cached),
+        "amplified_sizes": len(amplified),
+        "cached_dev": max(abs(v - 14.0) for v in cached),
+        "amplified_dev": max(abs(v - 78.0) for v in amplified),
+    }
+
+
+def test_ext_spmv(run_bench):
+    ctx, metrics = run_bench(bench_ext_spmv)
+    result = ctx.results["ext-spmv"]
     per_nnz = result.extras["per_nnz"]
     boundary = result.extras["boundary"]
     cached = [v for n, v in per_nnz.items() if n < boundary]
@@ -21,3 +40,5 @@ def test_ext_spmv(run_once):
         assert v == pytest.approx(14.0, abs=2.0)
     for v in amplified:
         assert v == pytest.approx(14.0 + 64.0, abs=4.0)
+    assert metrics["cached_dev"] < 2.0
+    assert metrics["amplified_dev"] < 4.0

@@ -7,13 +7,31 @@ cleanly with a single run, as the paper notes).
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig10(run_once):
-    result = run_once("fig10", n_runs=2)
+
+@benchmark("fig10", tags=("figure", "fft3d", "mpi"))
+def bench_fig10(ctx):
+    result = ctx.run_experiment("fig10", n_runs=2)
     per = result.extras["per_routine"]
+    metrics = {}
+    for n in (1344, 2016):
+        metrics[f"s1cf_n{n}_ratio_dev"] = abs(
+            per["s1cf"][n]["ratio"] - 2.0)
+        metrics[f"s2cf_n{n}_ratio_dev"] = abs(
+            per["s2cf"][n]["ratio"] - 1.0)
+        reads = per["s1cf"][n]["reads"]
+        metrics[f"s1cf_n{n}_band_spread"] = max(reads) / min(reads)
+    return metrics
+
+
+def test_fig10(run_bench):
+    ctx, metrics = run_bench(bench_fig10)
+    per = ctx.results["fig10"].extras["per_routine"]
     for n in (1344, 2016):
         assert per["s1cf"][n]["ratio"] == pytest.approx(2.0, abs=0.1)
         assert per["s2cf"][n]["ratio"] == pytest.approx(1.0, abs=0.1)
         # Band tightness at scale: min/max within ~15%.
         reads = per["s1cf"][n]["reads"]
         assert max(reads) < 1.2 * min(reads)
+        assert metrics[f"s1cf_n{n}_band_spread"] < 1.2

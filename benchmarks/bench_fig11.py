@@ -7,9 +7,37 @@ headline multi-component demonstration.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig11(run_once):
-    result = run_once("fig11", n=2016, slices_per_phase=3)
+
+@benchmark("fig11", tags=("figure", "fft3d", "gpu", "multi-component"))
+def bench_fig11(ctx):
+    result = ctx.run_experiment("fig11", n=2016, slices_per_phase=3)
+    totals = result.extras["phase_totals"]
+
+    def rw_ratio(phase):
+        return totals[phase]["read_bytes"] / totals[phase]["write_bytes"]
+
+    def bandwidth(phase):
+        agg = totals[phase]
+        return (agg["read_bytes"] + agg["write_bytes"]) / agg["seconds"]
+
+    timeline = result.extras["timeline"]
+    return {
+        "s1_ratio_dev": max(abs(rw_ratio(p) - 2.0)
+                            for p in ("s1cf", "s1pf")),
+        "s2_ratio_dev": max(abs(rw_ratio(p) - 1.0)
+                            for p in ("s2cf", "s2pf")),
+        "locality_bw_gain": bandwidth("s2cf") / bandwidth("s1cf"),
+        "fft_peak_w": max(s.gpu_power_w for s in timeline.phase("fft-y")),
+        "resort_peak_w": max(s.gpu_power_w
+                             for s in timeline.phase("s2cf")),
+    }
+
+
+def test_fig11(run_bench):
+    ctx, metrics = run_bench(bench_fig11)
+    result = ctx.results["fig11"]
     totals = result.extras["phase_totals"]
     # 1st/3rd resorts: ~2 reads per write.
     for phase in ("s1cf", "s1pf"):
@@ -19,11 +47,10 @@ def test_fig11(run_once):
     for phase in ("s2cf", "s2pf"):
         ratio = totals[phase]["read_bytes"] / totals[phase]["write_bytes"]
         assert ratio == pytest.approx(1.0, abs=0.2), phase
-    s1_bw = (totals["s1cf"]["read_bytes"] + totals["s1cf"]["write_bytes"]) \
-        / totals["s1cf"]["seconds"]
-    s2_bw = (totals["s2cf"]["read_bytes"] + totals["s2cf"]["write_bytes"]) \
-        / totals["s2cf"]["seconds"]
-    assert s2_bw > s1_bw  # "higher bandwidth due to better locality"
+    assert metrics["s1_ratio_dev"] < 0.2
+    assert metrics["s2_ratio_dev"] < 0.2
+    # "higher bandwidth due to better locality"
+    assert metrics["locality_bw_gain"] > 1.0
     # Network jumps only in the two All2Alls.
     for name, agg in totals.items():
         if name.startswith("all2all"):
@@ -32,12 +59,10 @@ def test_fig11(run_once):
             assert agg["net_recv_bytes"] == 0, name
     # GPU power spikes sit in the FFT phases: the kernel sub-step hits
     # near-peak power, while resort phases idle at the baseline.
-    timeline = result.extras["timeline"]
-    fft_peak = max(s.gpu_power_w for s in timeline.phase("fft-y"))
-    resort_peak = max(s.gpu_power_w for s in timeline.phase("s2cf"))
-    assert fft_peak > 250
-    assert resort_peak < 50
+    assert metrics["fft_peak_w"] > 250
+    assert metrics["resort_peak_w"] < 50
     # ... and the spike sits between a read burst and a write burst.
+    timeline = result.extras["timeline"]
     fft_samples = timeline.phase("fft-z")[:3]
     h2d, kernel, d2h = fft_samples
     assert h2d.mem_read_rate > 10 * h2d.mem_write_rate

@@ -8,18 +8,41 @@ physics is sound (energies near the exact ground state).
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig12(run_once):
-    result = run_once("fig12", n_nodes=2)
+
+@benchmark("fig12", tags=("figure", "qmc", "gpu", "multi-component"))
+def bench_fig12(ctx):
+    result = ctx.run_experiment("fig12", n_nodes=2)
     totals = result.extras["phase_totals"]
     power = {name: agg["gpu_energy_j"] / agg["seconds"]
              for name, agg in totals.items()}
-    assert power["vmc-nodrift"] < power["vmc-drift"] < power["dmc"]
+    exact = result.extras["exact_energy"]
+    energies = result.extras["energies"]
+    return {
+        "power_vmc_nodrift_w": power["vmc-nodrift"],
+        "power_vmc_drift_w": power["vmc-drift"],
+        "power_dmc_w": power["dmc"],
+        "dmc_net_recv_mb": totals["dmc"]["net_recv_bytes"] / 1e6,
+        "vmc_net_recv_mb": (totals["vmc-nodrift"]["net_recv_bytes"]
+                            + totals["vmc-drift"]["net_recv_bytes"])
+        / 1e6,
+        "energy_err": max(abs(energy - exact)
+                          for energy in energies.values()),
+    }
+
+
+def test_fig12(run_bench):
+    ctx, metrics = run_bench(bench_fig12)
+    result = ctx.results["fig12"]
+    assert (metrics["power_vmc_nodrift_w"]
+            < metrics["power_vmc_drift_w"]
+            < metrics["power_dmc_w"])
     # DMC is the only phase with walker-exchange network traffic.
-    assert totals["dmc"]["net_recv_bytes"] > 0
-    assert totals["vmc-nodrift"]["net_recv_bytes"] == 0
-    assert totals["vmc-drift"]["net_recv_bytes"] == 0
+    assert metrics["dmc_net_recv_mb"] > 0
+    assert metrics["vmc_net_recv_mb"] == 0
     # Physics: all three stages sample near the exact energy.
     exact = result.extras["exact_energy"]
     for phase, energy in result.extras["energies"].items():
         assert energy == pytest.approx(exact, abs=0.2), phase
+    assert metrics["energy_err"] < 0.2

@@ -7,9 +7,26 @@ the divergence band lands at the paper's N in [467, 809].
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig2(run_once):
-    result = run_once("fig2")
+
+@benchmark("fig2", tags=("figure", "gemm", "pcp"))
+def bench_fig2(ctx):
+    result = ctx.run_experiment("fig2")
+    lo, hi = result.extras["band"]
+    metrics = {"band_lo": lo, "band_hi": hi}
+    for machine in ("summit", "tellico"):
+        by_n = {r[0]: r for r in result.extras[machine]}
+        smallest = min(by_n)
+        largest = max(by_n)
+        metrics[f"{machine}_noise_floor"] = abs(by_n[smallest][7] - 1.0)
+        metrics[f"{machine}_large_n_ratio"] = by_n[largest][7]
+    return metrics
+
+
+def test_fig2(run_bench):
+    ctx, metrics = run_bench(bench_fig2)
+    result = ctx.results["fig2"]
     lo, hi = result.extras["band"]
     assert lo == pytest.approx(467, abs=1)
     assert hi == pytest.approx(809, abs=1)
@@ -22,3 +39,5 @@ def test_fig2(run_once):
         # Divergence at the large end (single thread, still cached or
         # beyond — either way measured exceeds the expectation).
         assert by_n[largest][7] > 1.5
+    assert metrics["summit_noise_floor"] > 0.5
+    assert metrics["tellico_large_n_ratio"] > 1.5

@@ -6,24 +6,43 @@ the per-core 5 MB boundary (idle-slice re-appropriation); (b) batched
 runs match expectation below N≈809 and jump drastically above.
 """
 
-import pytest
+from repro.bench import benchmark
 
 
-def test_fig3(run_once):
-    result = run_once("fig3")
+@benchmark("fig3", tags=("figure", "gemm", "pcp"))
+def bench_fig3(ctx):
+    result = ctx.run_experiment("fig3")
+    single = {r[0]: r[7] for r in result.extras["single"]}
+    batched = {r[0]: r[7] for r in result.extras["batched"]}
+    sizes = sorted(single)
+    below = [n for n in sizes if n <= 720]
+    inside = [n for n in sizes if 720 <= n <= 2048]
+    above = [n for n in sizes if n >= 1024]
+    return {
+        "single_small_dev": abs(single[below[0]] - 1.0),
+        "single_max_step": max(single[b] / single[a]
+                               for a, b in zip(inside, inside[1:])),
+        "batched_below_dev": max(abs(batched[n] - 1.0)
+                                 for n in below[2:]),
+        "batched_above_min": min(batched[n] for n in above),
+    }
+
+
+def test_fig3(run_bench):
+    ctx, metrics = run_bench(bench_fig3)
+    result = ctx.results["fig3"]
     single = {r[0]: r[7] for r in result.extras["single"]}
     batched = {r[0]: r[7] for r in result.extras["batched"]}
     sizes = sorted(single)
     below = [n for n in sizes if n <= 720]
     # (a) small sizes cleaned up by repetitions.
-    assert abs(single[below[0]] - 1.0) < 1.5
+    assert metrics["single_small_dev"] < 1.5
     # (a) gradual divergence while still inside the 110 MB budget: each
     # step grows by at most an order of magnitude (no drastic jump).
     inside = [n for n in sizes if 720 <= n <= 2048]
     assert all(single[n] > 1.2 for n in inside[1:])
-    assert all(single[b] < 10 * single[a]
-               for a, b in zip(inside, inside[1:]))
+    assert metrics["single_max_step"] < 10
     # (b) batched: clean below the boundary, drastic jump above.
     assert all(abs(batched[n] - 1.0) < 0.1 for n in below[2:])
-    above = [n for n in sizes if n >= 1024]
-    assert all(batched[n] > 50 for n in above)
+    assert metrics["batched_below_dev"] < 0.1
+    assert metrics["batched_above_min"] > 50

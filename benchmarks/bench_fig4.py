@@ -5,15 +5,35 @@ loop — the divergence is not a PCP artifact, and the PCP path is as
 accurate as direct access.
 """
 
+from repro.bench import benchmark
 
-def test_fig4(run_once):
-    result = run_once("fig4")
+
+@benchmark("fig4", tags=("figure", "gemm", "uncore"))
+def bench_fig4(ctx):
+    result = ctx.run_experiment("fig4")
+    single = {r[0]: r[7] for r in result.extras["single"]}
+    batched = {r[0]: r[7] for r in result.extras["batched"]}
+    sizes = sorted(single)
+    small = [n for n in sizes if n <= 640]
+    large = [n for n in sizes if n >= 1024]
+    return {
+        "batched_small_dev": max(abs(batched[n] - 1.0)
+                                 for n in small[2:]),
+        "batched_large_min": min(batched[n] for n in large),
+        "single_large_max": max(single[n] for n in large),
+    }
+
+
+def test_fig4(run_bench):
+    ctx, metrics = run_bench(bench_fig4)
+    result = ctx.results["fig4"]
     single = {r[0]: r[7] for r in result.extras["single"]}
     batched = {r[0]: r[7] for r in result.extras["batched"]}
     sizes = sorted(single)
     small = [n for n in sizes if n <= 640]
     # Tellico cores see 5 MB shares too: batched matches below ~809.
     assert all(abs(batched[n] - 1.0) < 0.12 for n in small[2:])
-    assert all(batched[n] > 50 for n in sizes if n >= 1024)
+    assert metrics["batched_small_dev"] < 0.12
+    assert metrics["batched_large_min"] > 50
     # Single-thread divergence present without PCP.
-    assert any(single[n] > 1.5 for n in sizes if n >= 1024)
+    assert metrics["single_large_max"] > 1.5

@@ -7,21 +7,40 @@ M ≈ 1e4; both panels behave the same (not a PCP artifact).
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig5(run_once):
-    result = run_once("fig5")
+
+@benchmark("fig5", tags=("figure", "gemv", "pcp", "uncore"))
+def bench_fig5(ctx):
+    result = ctx.run_experiment("fig5")
+    metrics = {}
+    for panel in ("summit", "tellico"):
+        by_m = {r[0]: r for r in result.extras[panel]}
+        small = [m for m in by_m if m <= 1280]
+        large = [m for m in by_m if m >= 65536]
+        metrics[f"{panel}_read_dev"] = max(abs(row[8] - 1.0)
+                                           for row in by_m.values())
+        metrics[f"{panel}_write_small_min"] = min(by_m[m][9]
+                                                  for m in small)
+        metrics[f"{panel}_write_tail_excess"] = max(by_m[m][9] - 1.0
+                                                    for m in large)
+    return metrics
+
+
+def test_fig5(run_bench):
+    ctx, metrics = run_bench(bench_fig5)
+    result = ctx.results["fig5"]
     for panel in ("summit", "tellico"):
         rows = result.extras[panel]
         by_m = {r[0]: r for r in rows}
         # Reads match throughout.
         for m, row in by_m.items():
             assert row[8] == pytest.approx(1.0, abs=0.35), (panel, m)
+        assert metrics[f"{panel}_read_dev"] < 0.35
         # Write convergence only past ~1e4.
-        small = [m for m in by_m if m <= 1280]
-        large = [m for m in by_m if m >= 65536]
-        assert all(by_m[m][9] > 1.5 for m in small)
-        assert all(by_m[m][9] < 1.25 for m in large)
+        assert metrics[f"{panel}_write_small_min"] > 1.5
+        assert metrics[f"{panel}_write_tail_excess"] < 0.25
         # Regime transition at exactly 1280.
         assert by_m[1280][2] == "square"
-        assert min(m for m in by_m if m > 1280) and \
-            by_m[min(m for m in by_m if m > 1280)][2] == "capped"
+        first_above = min(m for m in by_m if m > 1280)
+        assert by_m[first_above][2] == "capped"

@@ -6,9 +6,28 @@ read is absent: stores bypass), ~2 reads with -fprefetch-loop-arrays.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig6(run_once):
-    result = run_once("fig6")
+
+@benchmark("fig6", tags=("figure", "fft3d", "resort"))
+def bench_fig6(ctx):
+    result = ctx.run_experiment("fig6")
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    stable = [n for n in plain if n >= 768]
+    return {
+        "plain_read_dev": max(abs(plain[n][2] - 1.0) for n in stable),
+        "plain_write_dev": max(abs(plain[n][4] - 1.0) for n in stable),
+        "flagged_read_dev": max(abs(flagged[n][2] - 2.0)
+                                for n in stable),
+        "flagged_write_dev": max(abs(flagged[n][4] - 1.0)
+                                 for n in stable),
+    }
+
+
+def test_fig6(run_bench):
+    ctx, metrics = run_bench(bench_fig6)
+    result = ctx.results["fig6"]
     plain = {r[0]: r for r in result.extras["plain"]}
     flagged = {r[0]: r for r in result.extras["prefetch"]}
     stable = [n for n in plain if n >= 768]
@@ -17,3 +36,5 @@ def test_fig6(run_once):
         assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
         assert flagged[n][2] == pytest.approx(2.0, abs=0.25), n
         assert flagged[n][4] == pytest.approx(1.0, abs=0.15), n
+    assert metrics["plain_read_dev"] < 0.15
+    assert metrics["flagged_read_dev"] < 0.25

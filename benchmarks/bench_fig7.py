@@ -7,9 +7,29 @@ achieved bandwidth without changing the asymptotic traffic shape.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig7(run_once):
-    result = run_once("fig7")
+
+@benchmark("fig7", tags=("figure", "fft3d", "resort"))
+def bench_fig7(ctx):
+    result = ctx.run_experiment("fig7")
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    below = [n for n in plain if 384 <= n <= 640]
+    above = [n for n in plain if n >= 896]
+    return {
+        "eq7_boundary": result.extras["eq7_boundary"],
+        "below_read_dev": max(abs(plain[n][2] - 2.0) for n in below),
+        "above_read_dev": max(abs(plain[n][2] - 5.0) for n in above),
+        "above_write_dev": max(abs(plain[n][4] - 1.0) for n in above),
+        "flag_speedup_min": min(flagged[n][8] / plain[n][8]
+                                for n in above),
+    }
+
+
+def test_fig7(run_bench):
+    ctx, metrics = run_bench(bench_fig7)
+    result = ctx.results["fig7"]
     assert result.extras["eq7_boundary"] == pytest.approx(724, abs=1)
     plain = {r[0]: r for r in result.extras["plain"]}
     flagged = {r[0]: r for r in result.extras["prefetch"]}
@@ -22,3 +42,5 @@ def test_fig7(run_once):
         assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
         # "significant improvement in performance" with the flag:
         assert flagged[n][8] > 2 * plain[n][8], n
+    assert metrics["below_read_dev"] < 0.4
+    assert metrics["flag_speedup_min"] > 2.0

@@ -6,12 +6,27 @@ stable size — "precisely what we observe" in the paper.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig8(run_once):
-    result = run_once("fig8")
+
+@benchmark("fig8", tags=("figure", "fft3d", "resort"))
+def bench_fig8(ctx):
+    result = ctx.run_experiment("fig8")
+    stable = [r for r in result.extras["plain"] if r[0] >= 512]
+    return {
+        "read_dev": max(abs(row[2] - 2.0) for row in stable),
+        "write_dev": max(abs(row[4] - 1.0) for row in stable),
+    }
+
+
+def test_fig8(run_bench):
+    ctx, metrics = run_bench(bench_fig8)
+    result = ctx.results["fig8"]
     for row in result.extras["plain"]:
         n = row[0]
         if n < 512:
             continue  # smallest sizes are noise-dominated by design
         assert row[2] == pytest.approx(2.0, abs=0.25), n
         assert row[4] == pytest.approx(1.0, abs=0.15), n
+    assert metrics["read_dev"] < 0.25
+    assert metrics["write_dev"] < 0.15

@@ -7,12 +7,32 @@ nest 2 thanks to locality.
 
 import pytest
 
+from repro.bench import benchmark
 
-def test_fig9(run_once):
-    result = run_once("fig9")
+SIZES = (768, 1024, 1280)
+
+
+@benchmark("fig9", tags=("figure", "fft3d", "resort"))
+def bench_fig9(ctx):
+    result = ctx.run_experiment("fig9")
     plain = {r[0]: r for r in result.extras["plain"]}
     flagged = {r[0]: r for r in result.extras["prefetch"]}
-    for n in (768, 1024, 1280):
+    return {
+        "plain_read_dev": max(abs(plain[n][2] - 1.0) for n in SIZES),
+        "plain_write_dev": max(abs(plain[n][4] - 1.0) for n in SIZES),
+        "flagged_read_dev": max(abs(flagged[n][2] - 2.0)
+                                for n in SIZES),
+    }
+
+
+def test_fig9(run_bench):
+    ctx, metrics = run_bench(bench_fig9)
+    result = ctx.results["fig9"]
+    plain = {r[0]: r for r in result.extras["plain"]}
+    flagged = {r[0]: r for r in result.extras["prefetch"]}
+    for n in SIZES:
         assert plain[n][2] == pytest.approx(1.0, abs=0.15), n
         assert plain[n][4] == pytest.approx(1.0, abs=0.15), n
         assert flagged[n][2] == pytest.approx(2.0, abs=0.25), n
+    assert metrics["plain_read_dev"] < 0.15
+    assert metrics["flagged_read_dev"] < 0.25

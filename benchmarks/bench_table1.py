@@ -1,9 +1,25 @@
 """Table I: architectures and performance events."""
 
+from repro.bench import benchmark
 
-def test_table1(run_once):
-    result = run_once("table1")
+
+@benchmark("table1", tags=("table", "events"))
+def bench_table1(ctx):
+    result = ctx.run_experiment("table1")
+    return {
+        "summit_events": len(result.extras["summit_events"]),
+        "tellico_events": len(result.extras["tellico_events"]),
+        "summit_uncore": int(result.extras["summit_uncore_available"]),
+        "tellico_uncore": int(result.extras["tellico_uncore_available"]),
+    }
+
+
+def test_table1(run_bench):
+    ctx, metrics = run_bench(bench_table1)
+    result = ctx.results["table1"]
     assert len(result.extras["summit_events"]) == 32
     assert len(result.extras["tellico_events"]) == 32
     assert not result.extras["summit_uncore_available"]
     assert result.extras["tellico_uncore_available"]
+    assert metrics["summit_events"] == 32
+    assert metrics["tellico_uncore"] == 1

@@ -1,7 +1,25 @@
 """Table II: supplemental performance events (NVML, InfiniBand)."""
 
+from repro.bench import benchmark
 
-def test_table2(run_once):
-    result = run_once("table2")
+
+@benchmark("table2", tags=("table", "events"))
+def bench_table2(ctx):
+    result = ctx.run_experiment("table2")
+    nvml = result.extras["nvml_events"]
+    ib = result.extras["ib_events"]
+    return {
+        "nvml_events": len(nvml),
+        "ib_events": len(ib),
+        "nvml_power_events": sum(1 for e in nvml if ":power" in e),
+        "ib_recv_events": sum(1 for e in ib if "port_recv_data" in e),
+    }
+
+
+def test_table2(run_bench):
+    ctx, metrics = run_bench(bench_table2)
+    result = ctx.results["table2"]
     assert any(":power" in e for e in result.extras["nvml_events"])
     assert any("port_recv_data" in e for e in result.extras["ib_events"])
+    assert metrics["nvml_power_events"] >= 1
+    assert metrics["ib_recv_events"] >= 1

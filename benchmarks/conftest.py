@@ -1,33 +1,43 @@
 """Shared benchmark plumbing.
 
-Every benchmark regenerates one table/figure via the experiment
-registry, prints the rows (so `pytest benchmarks/ --benchmark-only -s`
-reproduces the paper's evaluation verbatim), and asserts the
-qualitative shape. `run_once` wraps pytest-benchmark's pedantic mode:
-experiments are deterministic, so a single timed round suffices.
+Every benchmark regenerates one table/figure, registers itself with
+:func:`repro.bench.benchmark`, and returns a flat dict of numeric
+metrics (the result-dict convention the parallel runner ships into
+``BENCH_<sha>.json``). The pytest layer below wraps the same
+registered callables: ``run_bench`` times one deterministic execution
+via pytest-benchmark's pedantic mode, prints the regenerated tables
+(so ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation verbatim), and hands back both the
+:class:`~repro.bench.BenchContext` (full experiment results for shape
+assertions) and the metric dict.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_experiment
+from repro.bench.registry import DEFAULT_SEED, BenchContext
 
-SEED = 20230613
+SEED = DEFAULT_SEED
 
 
 @pytest.fixture
-def run_once(benchmark):
-    """Time one deterministic execution of an experiment and print it."""
+def run_bench(benchmark):
+    """Time one registered benchmark callable and print its tables."""
 
-    def _run(experiment_id: str, **kwargs):
-        kwargs.setdefault("seed", SEED)
-        result = benchmark.pedantic(
-            lambda: run_experiment(experiment_id, **kwargs),
+    def _run(func):
+        ctx = BenchContext(seed=SEED)
+        spec = func.benchmark_spec
+        metrics = benchmark.pedantic(
+            lambda: spec.run(ctx),
             rounds=1, iterations=1, warmup_rounds=0,
         )
-        print()
-        print(result.render())
-        return result
+        for result in ctx.results.values():
+            print()
+            print(result.render())
+        for text in ctx.logs:
+            print()
+            print(text)
+        return ctx, metrics
 
     return _run

@@ -1,0 +1,72 @@
+"""Parallel benchmark orchestration (`repro.bench`).
+
+The paper's argument is quantitative, so the reproduction's
+benchmarks must be runnable as one measured, machine-checkable unit
+rather than 21 hand-invoked scripts. This subsystem provides:
+
+* a registry (:mod:`repro.bench.registry`): benchmark scripts under
+  ``benchmarks/bench_*.py`` register a callable with the
+  :func:`benchmark` decorator and return a flat dict of numeric
+  metrics (the *result-dict convention*);
+* a runner (:mod:`repro.bench.runner`): executes registered
+  benchmarks in parallel worker processes with per-benchmark
+  timeouts and crash isolation — a hung or crashed figure script is
+  reported, never fatal;
+* a reporter (:mod:`repro.bench.report`): emits one
+  ``BENCH_<git-sha>.json`` with per-benchmark wall time, peak RSS,
+  accuracy metrics and environment metadata;
+* a comparator (:mod:`repro.bench.compare`): diffs a report against
+  a frozen baseline (``benchmarks/baseline.json``) and fails on wall
+  time or accuracy-deviation regressions beyond thresholds.
+
+``python -m repro.cli bench`` is the command-line entry point.
+"""
+
+from .compare import (
+    ComparisonResult,
+    Regression,
+    Thresholds,
+    compare_reports,
+    format_comparison,
+)
+from .registry import (
+    BenchContext,
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmark,
+    discover,
+    get_benchmark,
+)
+from .report import (
+    SCHEMA,
+    build_report,
+    environment_metadata,
+    load_report,
+    report_filename,
+    validate_report,
+    write_report,
+)
+from .runner import RunnerConfig, run_benchmarks
+
+__all__ = [
+    "BenchContext",
+    "BenchmarkSpec",
+    "ComparisonResult",
+    "Regression",
+    "RunnerConfig",
+    "SCHEMA",
+    "Thresholds",
+    "all_benchmarks",
+    "benchmark",
+    "build_report",
+    "compare_reports",
+    "discover",
+    "environment_metadata",
+    "format_comparison",
+    "get_benchmark",
+    "load_report",
+    "report_filename",
+    "run_benchmarks",
+    "validate_report",
+    "write_report",
+]

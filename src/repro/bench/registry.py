@@ -1,0 +1,206 @@
+"""Benchmark registry and script discovery.
+
+A benchmark is a callable taking a :class:`BenchContext` and
+returning a flat ``{str: number}`` dict of accuracy/shape metrics
+(the *result-dict convention*). Scripts under
+``benchmarks/bench_*.py`` register theirs with the :func:`benchmark`
+decorator; :func:`discover` imports every such script so the registry
+is populated, both in the orchestrating process (to learn what to
+run) and inside worker processes (to run one of them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import math
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Default seed benchmarks measure under (kept stable so frozen
+#: baselines stay comparable across PRs).
+DEFAULT_SEED = 20230613
+
+MetricDict = Dict[str, float]
+
+
+class BenchContext:
+    """Per-run services handed to every benchmark callable.
+
+    ``run_experiment`` proxies :func:`repro.experiments.run_experiment`
+    with the run's seed defaulted in, and keeps each result in
+    ``results`` so shape-asserting tests can inspect the full
+    table/figure while the runner only ships the metric dict.
+    ``log`` collects human-readable tables for surfaces that want
+    them (pytest ``-s``); the parallel runner discards them.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.seed = seed
+        self.results: Dict[str, object] = {}
+        self.logs: List[str] = []
+
+    def run_experiment(self, experiment_id: str, **kwargs):
+        from ..experiments import run_experiment
+
+        kwargs.setdefault("seed", self.seed)
+        result = run_experiment(experiment_id, **kwargs)
+        self.results[experiment_id] = result
+        return result
+
+    def log(self, text: str) -> None:
+        self.logs.append(text)
+
+
+class BenchmarkSpec:
+    """Registry entry: a named, tagged benchmark callable."""
+
+    __slots__ = ("name", "tags", "func", "source")
+
+    def __init__(
+        self,
+        name: str,
+        tags: Tuple[str, ...],
+        func: Callable[[BenchContext], MetricDict],
+        source: Optional[str],
+    ):
+        self.name = name
+        self.tags = tags
+        self.func = func
+        self.source = source
+
+    def run(self, ctx: Optional[BenchContext] = None) -> MetricDict:
+        """Execute the benchmark and validate its result dict."""
+        metrics = self.func(ctx if ctx is not None else BenchContext())
+        return validate_metrics(self.name, metrics)
+
+
+def validate_metrics(name: str, metrics) -> MetricDict:
+    """Enforce the result-dict convention: flat, finite, numeric."""
+    if not isinstance(metrics, dict) or not metrics:
+        raise ConfigurationError(
+            f"benchmark {name!r} must return a non-empty dict of "
+            f"metrics, got {type(metrics).__name__}"
+        )
+    clean: MetricDict = {}
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            raise ConfigurationError(
+                f"benchmark {name!r}: metric keys must be strings, "
+                f"got {key!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"benchmark {name!r}: metric {key!r} must be a "
+                f"number, got {value!r}"
+            )
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"benchmark {name!r}: metric {key!r} is not finite "
+                f"({value!r})"
+            )
+        clean[key] = value
+    return clean
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def benchmark(name: str, tags: Iterable[str] = ()):
+    """Decorator registering a benchmark callable under ``name``.
+
+    Re-registering the same name from the same source file replaces
+    the entry (re-imports are normal during discovery); two different
+    files claiming one name is a configuration error.
+    """
+
+    def wrap(func: Callable[[BenchContext], MetricDict]):
+        module = sys.modules.get(func.__module__)
+        source = getattr(module, "__file__", None)
+        spec = BenchmarkSpec(name, tuple(tags), func, source)
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.source and source:
+            if Path(existing.source).resolve() != Path(source).resolve():
+                raise ConfigurationError(
+                    f"benchmark {name!r} registered by both "
+                    f"{existing.source} and {source}"
+                )
+        _REGISTRY[name] = spec
+        func.benchmark_spec = spec
+        return func
+
+    return wrap
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def clear_registry() -> None:
+    """Forget every registration (test isolation)."""
+    _REGISTRY.clear()
+
+
+def _module_name_for(path: Path) -> str:
+    raw = str(path.resolve()).encode("utf-8")
+    digest = hashlib.sha1(raw).hexdigest()[:12]
+    return f"repro_bench_script_{path.stem}_{digest}"
+
+
+def _registered_from(path: Path) -> List[BenchmarkSpec]:
+    resolved = path.resolve()
+    return [
+        spec
+        for spec in all_benchmarks()
+        if spec.source and Path(spec.source).resolve() == resolved
+    ]
+
+
+def load_script(path: Path) -> List[BenchmarkSpec]:
+    """Import one benchmark script, returning what it registered."""
+    path = Path(path)
+    module_name = _module_name_for(path)
+    if module_name in sys.modules:
+        return _registered_from(path)
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise ConfigurationError(f"cannot import benchmark {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        del sys.modules[module_name]
+        raise
+    return _registered_from(path)
+
+
+def discover(directory, pattern: str = "bench_*.py"):
+    """Import every benchmark script in ``directory``.
+
+    Returns the specs registered by those scripts, sorted by name.
+    Scripts that register nothing are tolerated (plain pytest files);
+    a script that fails to import raises — silent loss of a benchmark
+    is exactly what this subsystem exists to prevent.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(
+            f"benchmark directory {directory} does not exist"
+        )
+    found: List[BenchmarkSpec] = []
+    for path in sorted(directory.glob(pattern)):
+        found.extend(load_script(path))
+    return sorted(found, key=lambda spec: spec.name)

@@ -1,0 +1,217 @@
+"""Benchmark report assembly: one ``BENCH_<git-sha>.json`` per run.
+
+The report is the machine-readable artifact CI uploads and the
+comparator consumes. Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "git_sha": "<40 hex or 'unknown'>",
+      "created_at": "<ISO-8601 UTC>",
+      "environment": {python, platform, machine, cpu_count, numpy,
+                      calibration_s},
+      "config": {seed, timeout_s, max_workers},
+      "summary": {total, ok, error, timeout, crashed, wall_s},
+      "benchmarks": [
+        {"name", "tags", "status", "wall_s", "peak_rss_kb",
+         "metrics": {str: number}, "error"},
+        ...
+      ]
+    }
+
+``environment.calibration_s`` times a fixed numpy workload on the
+reporting machine; the comparator uses the baseline/current ratio to
+rescale wall-time thresholds, so a baseline frozen on one machine
+still gates a faster or slower CI runner sensibly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+SCHEMA = "repro-bench/1"
+
+_STATUSES = ("ok", "error", "timeout", "crashed")
+
+_RECORD_KEYS = {
+    "name",
+    "tags",
+    "status",
+    "wall_s",
+    "peak_rss_kb",
+    "metrics",
+    "error",
+}
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def git_sha(repo_dir: Optional[Path] = None) -> str:
+    """Current commit hash, or ``"unknown"`` outside a checkout."""
+    cwd = str(repo_dir) if repo_dir is not None else None
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    if out.returncode != 0 or not sha:
+        return "unknown"
+    return sha
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed numpy workload (machine speed probe).
+
+    Deliberately small (a few hundred ms) and deterministic; the
+    best-of-``repeats`` damps scheduler noise.
+    """
+    import numpy
+
+    rng = numpy.random.default_rng(12345)
+    a = rng.standard_normal((384, 384))
+    b = rng.standard_normal((384, 384))
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        begun = time.perf_counter()
+        for _ in range(8):
+            a @ b
+        best = min(best, time.perf_counter() - begun)
+    return best
+
+
+def environment_metadata(with_calibration: bool = True) -> Dict:
+    import numpy
+
+    meta = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
+    if with_calibration:
+        meta["calibration_s"] = round(calibrate(), 6)
+    return meta
+
+
+def build_report(
+    records: List[dict],
+    config: Optional[Dict] = None,
+    sha: Optional[str] = None,
+    environment: Optional[Dict] = None,
+) -> Dict:
+    """Assemble the schema-`repro-bench/1` report for one run."""
+    records = sorted(records, key=lambda r: r["name"])
+    counts = {status: 0 for status in _STATUSES}
+    wall = 0.0
+    for record in records:
+        counts[record["status"]] = counts.get(record["status"], 0) + 1
+        wall += record["wall_s"] or 0.0
+    now = datetime.datetime.now(datetime.timezone.utc)
+    report = {
+        "schema": SCHEMA,
+        "git_sha": sha if sha is not None else git_sha(),
+        "created_at": now.isoformat(timespec="seconds"),
+        "environment": environment or environment_metadata(),
+        "config": dict(config or {}),
+        "summary": {
+            "total": len(records),
+            "wall_s": round(wall, 3),
+            **counts,
+        },
+        "benchmarks": records,
+    }
+    validate_report(report)
+    return report
+
+
+def report_filename(report: Dict) -> str:
+    sha = report.get("git_sha") or "unknown"
+    return f"BENCH_{sha[:12]}.json"
+
+
+def write_report(report: Dict, out_dir=".") -> Path:
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / report_filename(report)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(path) -> Dict:
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot read benchmark report {path}: {exc}"
+        ) from exc
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Dict) -> Dict:
+    """Structural schema check; raises ConfigurationError on drift."""
+
+    def fail(detail: str):
+        raise ConfigurationError(f"invalid benchmark report: {detail}")
+
+    if not isinstance(report, dict):
+        fail("not an object")
+    if report.get("schema") != SCHEMA:
+        fail(f"schema {report.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("git_sha", "created_at"):
+        if not isinstance(report.get(key), str):
+            fail(f"{key} must be a string")
+    for key in ("environment", "config", "summary"):
+        if not isinstance(report.get(key), dict):
+            fail(f"{key} must be an object")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        fail("benchmarks must be a list")
+    seen = set()
+    for record in benchmarks:
+        if not isinstance(record, dict):
+            fail("benchmark record must be an object")
+        missing = _RECORD_KEYS - set(record)
+        if missing:
+            fail(f"record missing keys {sorted(missing)}")
+        name = record["name"]
+        if not isinstance(name, str):
+            fail("record name must be a string")
+        if name in seen:
+            fail(f"duplicate benchmark record {name!r}")
+        seen.add(name)
+        if record["status"] not in _STATUSES:
+            fail(f"{name}: bad status {record['status']!r}")
+        for key in ("wall_s", "peak_rss_kb"):
+            value = record[key]
+            if not (value is None or _is_number(value)):
+                fail(f"{name}: {key} must be a number or null")
+        if not isinstance(record["metrics"], dict):
+            fail(f"{name}: metrics must be an object")
+        for mkey, mval in record["metrics"].items():
+            if not (isinstance(mkey, str) and _is_number(mval)):
+                fail(f"{name}: metric {mkey!r} must map str -> number")
+    summary = report["summary"]
+    if summary.get("total") != len(benchmarks):
+        fail("summary.total does not match benchmark count")
+    return report

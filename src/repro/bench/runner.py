@@ -1,0 +1,307 @@
+"""Parallel benchmark execution with timeouts and crash isolation.
+
+Benchmarks run in worker processes from a
+:class:`~concurrent.futures.ProcessPoolExecutor` (spawn start
+method, one task per worker where the interpreter supports it, so a
+worker's ``ru_maxrss`` high-water mark is that benchmark's peak
+RSS). The orchestrating loop enforces a *per-benchmark* deadline
+measured from the moment the worker actually picks the benchmark up
+(workers stamp a start time into a shared dict), so queueing delay
+never counts against a benchmark.
+
+Failure containment:
+
+* an exception inside a benchmark is caught in the worker and comes
+  back as a ``status="error"`` record;
+* a benchmark overrunning its deadline is recorded as
+  ``status="timeout"`` and abandoned — the remaining workers keep
+  draining the queue, and any straggler process is terminated when
+  the run finishes;
+* a worker that dies outright (``os._exit``, segfault, OOM kill)
+  breaks the pool; the runner marks the benchmarks that were running
+  at that moment ``status="crashed"``, rebuilds the pool, and
+  resubmits the benchmarks that had not started yet.
+
+Nothing a benchmark does can abort the run as a whole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .registry import (
+    DEFAULT_SEED,
+    BenchContext,
+    BenchmarkSpec,
+    get_benchmark,
+    load_script,
+)
+
+#: Poll interval of the orchestration loop (seconds).
+_POLL_SECONDS = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs for one parallel benchmark run."""
+
+    max_workers: Optional[int] = None
+    timeout_s: float = 120.0
+    seed: int = DEFAULT_SEED
+
+    def resolved_workers(self, n_benchmarks: int) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        cores = os.cpu_count() or 2
+        return max(1, min(8, cores, n_benchmarks))
+
+
+def _worker_run(source, name, seed, started):
+    """Worker-side entry: import the script, run one benchmark.
+
+    Returns a complete result record; ordinary benchmark failures are
+    folded into the record rather than raised, so only a dying worker
+    process surfaces as an executor error.
+    """
+    started[name] = (os.getpid(), time.monotonic())
+    record = {
+        "name": name,
+        "tags": [],
+        "status": "error",
+        "wall_s": None,
+        "peak_rss_kb": None,
+        "metrics": {},
+        "error": None,
+    }
+    try:
+        load_script(Path(source))
+        spec = get_benchmark(name)
+        record["tags"] = list(spec.tags)
+        begun = time.perf_counter()
+        metrics = spec.run(BenchContext(seed))
+        record["wall_s"] = time.perf_counter() - begun
+        record["metrics"] = metrics
+        record["status"] = "ok"
+    except Exception:
+        record["error"] = traceback.format_exc(limit=20)
+    record["peak_rss_kb"] = _peak_rss_kb()
+    return record
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes there
+        rss //= 1024
+    return int(rss)
+
+
+def _failure_record(spec: BenchmarkSpec, status: str, error: str):
+    return {
+        "name": spec.name,
+        "tags": list(spec.tags),
+        "status": status,
+        "wall_s": None,
+        "peak_rss_kb": None,
+        "metrics": {},
+        "error": error,
+    }
+
+
+def _make_pool(ctx, workers: int) -> ProcessPoolExecutor:
+    kwargs = {"max_workers": workers, "mp_context": ctx}
+    if sys.version_info >= (3, 11):
+        # Fresh interpreter per benchmark: per-benchmark peak RSS and
+        # no state bleed between figure scripts.
+        kwargs["max_tasks_per_child"] = 1
+    return ProcessPoolExecutor(**kwargs)
+
+
+def _force_shutdown(pool: ProcessPoolExecutor) -> None:
+    """Shut down without waiting; reap stragglers (hung workers)."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    procs_map = getattr(pool, "_processes", None)
+    procs = list(procs_map.values()) if isinstance(procs_map, dict) else []
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def run_benchmarks(
+    specs: List[BenchmarkSpec],
+    config: Optional[RunnerConfig] = None,
+    progress: Optional[Callable[[dict], None]] = None,
+) -> List[dict]:
+    """Run every spec in parallel workers; return result records.
+
+    ``progress`` (if given) is called with each record as it lands.
+    The returned list is sorted by benchmark name and contains
+    exactly one record per input spec, whatever happened to it.
+    """
+    config = config or RunnerConfig()
+    if not specs:
+        raise ConfigurationError("no benchmarks to run")
+    for spec in specs:
+        if not spec.source:
+            raise ConfigurationError(
+                f"benchmark {spec.name!r} has no source file; "
+                f"parallel workers re-import benchmarks from disk"
+            )
+    workers = config.resolved_workers(len(specs))
+    ctx = multiprocessing.get_context("spawn")
+    manager = ctx.Manager()
+    records: Dict[str, dict] = {}
+
+    def emit(record: dict) -> None:
+        records[record["name"]] = record
+        if progress is not None:
+            progress(record)
+
+    try:
+        started = manager.dict()
+        pool = _make_pool(ctx, workers)
+        rebuilds = 0
+        pending: Dict[object, BenchmarkSpec] = {}
+
+        def submit(spec: BenchmarkSpec) -> None:
+            future = pool.submit(
+                _worker_run,
+                str(spec.source),
+                spec.name,
+                config.seed,
+                started,
+            )
+            pending[future] = spec
+
+        for spec in specs:
+            submit(spec)
+        while pending:
+            done, _ = futures_wait(
+                set(pending),
+                timeout=_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            orphans: List[BenchmarkSpec] = []
+            for future in done:
+                spec = pending.pop(future)
+                try:
+                    emit(future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    if spec.name in started:
+                        emit(_crash_record(spec))
+                    else:
+                        orphans.append(spec)
+                except Exception as exc:
+                    emit(
+                        _failure_record(
+                            spec,
+                            "error",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+            if broken:
+                rebuilds += 1
+                survivors = _split_crash_victims(
+                    pending, started, orphans, emit
+                )
+                pending.clear()
+                _force_shutdown(pool)
+                if rebuilds > len(specs) + 1:
+                    for spec in survivors:
+                        emit(
+                            _failure_record(
+                                spec,
+                                "crashed",
+                                "worker pool kept breaking",
+                            )
+                        )
+                    break
+                pool = _make_pool(ctx, workers)
+                for spec in survivors:
+                    submit(spec)
+                continue
+            _expire_deadlines(pending, started, config.timeout_s, emit)
+        _force_shutdown(pool)
+    finally:
+        manager.shutdown()
+    ordered = sorted(records.values(), key=lambda r: r["name"])
+    return ordered
+
+
+def _crash_record(spec: BenchmarkSpec) -> dict:
+    return _failure_record(
+        spec,
+        "crashed",
+        "worker process died (crash or kill) while running this "
+        "benchmark (or a pool-mate torn down with it)",
+    )
+
+
+def _split_crash_victims(pending, started, orphans, emit):
+    """The pool broke: report the in-flight benchmarks, keep the rest.
+
+    Every pending benchmark that had stamped a start time was running
+    in some worker when the pool died (the executor tears all workers
+    down); each is reported as crashed. Benchmarks that never started
+    — including ``orphans`` whose futures surfaced the break before
+    ever reaching a worker — are returned for resubmission to a fresh
+    pool.
+    """
+    survivors = list(orphans)
+    for spec in pending.values():
+        if spec.name in started:
+            emit(_crash_record(spec))
+        else:
+            survivors.append(spec)
+    return survivors
+
+
+def _expire_deadlines(pending, started, timeout_s, emit) -> None:
+    """Abandon benchmarks running past their deadline."""
+    now = time.monotonic()
+    for future, spec in list(pending.items()):
+        stamp = started.get(spec.name)
+        if stamp is None:
+            continue
+        elapsed = now - stamp[1]
+        if elapsed <= timeout_s:
+            continue
+        del pending[future]
+        future.cancel()
+        emit(
+            _failure_record(
+                spec,
+                "timeout",
+                f"exceeded {timeout_s:.1f}s deadline "
+                f"(ran {elapsed:.1f}s); worker abandoned",
+            )
+        )

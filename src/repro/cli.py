@@ -6,6 +6,7 @@ Examples::
     repro-experiments fig3
     repro-experiments fig11 --seed 42
     python -m repro.cli fig5
+    python -m repro.cli bench --compare benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -45,8 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment", nargs="?",
                         help="experiment id (e.g. table1, fig2 ... fig12), "
-                             "or 'pcp-stress' for the concurrent daemon "
-                             "stress run")
+                             "'pcp-stress' for the concurrent daemon "
+                             "stress run, or 'bench' for the parallel "
+                             "benchmark suite (see 'bench --help')")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
     parser.add_argument("--seed", type=int, default=None,
@@ -83,11 +85,191 @@ def _run_pcp_stress(args) -> int:
         for key, value in report.items():
             print(f"{key:{width}s}  {value}")
     healthy = (not report["errors"] and report["cross_wired"] == 0
-               and report["non_monotone_timestamps"] == 0)
+               and report["non_monotone_timestamps"] == 0
+               and report["unrecovered_faults"] == 0)
     return 0 if healthy else 1
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    from .bench.registry import DEFAULT_SEED
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description="Run the registered benchmarks in parallel worker "
+                    "processes, write a BENCH_<git-sha>.json report, "
+                    "and optionally gate it against a frozen baseline.",
+    )
+    parser.add_argument("--bench-dir", default=None,
+                        help="directory holding bench_*.py scripts "
+                             "(default: ./benchmarks, falling back to "
+                             "the repository checkout)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel worker processes "
+                             "(default: min(8, cpu count))")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-benchmark deadline in seconds "
+                             "(default: 120)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="simulation seed benchmarks measure under")
+    parser.add_argument("--filter", dest="name_filter", default=None,
+                        help="only run benchmarks whose name contains "
+                             "this substring")
+    parser.add_argument("--tag", default=None,
+                        help="only run benchmarks carrying this tag")
+    parser.add_argument("--output-dir", default=".",
+                        help="where to write BENCH_<sha>.json "
+                             "(default: current directory)")
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip writing the BENCH_<sha>.json file")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON instead of "
+                             "the summary table")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="compare against a frozen baseline report "
+                             "(e.g. benchmarks/baseline.json)")
+    parser.add_argument("--fail-on-regression",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="exit nonzero when --compare finds a "
+                             "regression (default: on)")
+    parser.add_argument("--freeze", metavar="PATH", default=None,
+                        help="also freeze this run as a baseline file "
+                             "(report + thresholds) at PATH")
+    parser.add_argument("--wall-threshold", type=float, default=None,
+                        help="relative wall-time growth allowed vs the "
+                             "baseline (overrides the baseline's own "
+                             "thresholds; e.g. 0.25)")
+    parser.add_argument("--metric-rel", type=float, default=None,
+                        help="relative tolerance for metric drift")
+    parser.add_argument("--metric-abs", type=float, default=None,
+                        help="absolute tolerance for metric drift")
+    parser.add_argument("--rss-threshold", type=float, default=None,
+                        help="relative peak-RSS growth allowed (off by "
+                             "default)")
+    return parser
+
+
+def _default_bench_dir():
+    from pathlib import Path
+
+    cwd_dir = Path.cwd() / "benchmarks"
+    if cwd_dir.is_dir():
+        return cwd_dir
+    checkout = Path(__file__).resolve().parents[2] / "benchmarks"
+    if checkout.is_dir():
+        return checkout
+    return cwd_dir  # let discovery raise with a clear path
+
+
+def _run_bench(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        RunnerConfig,
+        Thresholds,
+        build_report,
+        compare_reports,
+        discover,
+        format_comparison,
+        load_report,
+        run_benchmarks,
+        write_report,
+    )
+    from .bench.compare import resolve_thresholds
+
+    args = build_bench_parser().parse_args(argv)
+    bench_dir = Path(args.bench_dir) if args.bench_dir \
+        else _default_bench_dir()
+    specs = discover(bench_dir)
+    if args.name_filter:
+        specs = [s for s in specs if args.name_filter in s.name]
+    if args.tag:
+        specs = [s for s in specs if args.tag in s.tags]
+    if not specs:
+        print(f"no benchmarks matched under {bench_dir}", file=sys.stderr)
+        return 2
+    config = RunnerConfig(max_workers=args.jobs,
+                          timeout_s=args.timeout, seed=args.seed)
+
+    def progress(record):
+        wall = record["wall_s"]
+        shown = f"{wall:8.2f}s" if wall is not None else " " * 9
+        line = f"  {record['name']:<28s} {record['status']:>8s} {shown}"
+        print(line, file=sys.stderr, flush=True)
+
+    n = len(specs)
+    workers = config.resolved_workers(n)
+    print(f"running {n} benchmarks on {workers} workers "
+          f"(timeout {config.timeout_s:.0f}s each)", file=sys.stderr)
+    records = run_benchmarks(specs, config, progress=progress)
+    report = build_report(
+        records,
+        config={"seed": config.seed, "timeout_s": config.timeout_s,
+                "max_workers": workers},
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        _print_bench_summary(report)
+    if not args.no_report:
+        path = write_report(report, args.output_dir)
+        print(f"report written to {path}", file=sys.stderr)
+    exit_code = 0
+    failed = report["summary"]["total"] - report["summary"]["ok"]
+    if failed:
+        print(f"{failed} benchmark(s) did not finish ok",
+              file=sys.stderr)
+        exit_code = 1
+    overrides = {"wall_rel": args.wall_threshold,
+                 "metric_rel": args.metric_rel,
+                 "metric_abs": args.metric_abs,
+                 "rss_rel": args.rss_threshold}
+    if args.compare:
+        baseline = load_report(args.compare)
+        thresholds = resolve_thresholds(baseline, overrides)
+        comparison = compare_reports(report, baseline, thresholds)
+        print(format_comparison(comparison))
+        if not comparison.ok and args.fail_on_regression:
+            exit_code = exit_code or 1
+    if args.freeze:
+        frozen = dict(report)
+        frozen["thresholds"] = Thresholds.from_dict(
+            {k: v for k, v in overrides.items() if v is not None}
+        ).to_dict()
+        freeze_path = Path(args.freeze)
+        freeze_path.parent.mkdir(parents=True, exist_ok=True)
+        freeze_path.write_text(json.dumps(frozen, indent=2) + "\n")
+        print(f"baseline frozen to {freeze_path}", file=sys.stderr)
+    return exit_code
+
+
+def _print_bench_summary(report) -> None:
+    from .measure.report import format_table
+
+    rows = []
+    for record in report["benchmarks"]:
+        wall = record["wall_s"]
+        rss = record["peak_rss_kb"]
+        rows.append([
+            record["name"],
+            record["status"],
+            f"{wall:.2f}" if wall is not None else "-",
+            str(rss) if rss is not None else "-",
+            len(record["metrics"]),
+        ])
+    summary = report["summary"]
+    print(format_table(
+        ["benchmark", "status", "wall s", "peak RSS kB", "metrics"],
+        rows,
+        title=f"[bench] {summary['ok']}/{summary['total']} ok, "
+              f"{summary['wall_s']}s benchmark time, "
+              f"sha {report['git_sha'][:12]}"))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        return _run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():
@@ -95,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp.experiment_id:8s} {exp.title}{ref}")
         print("pcp-stress  Concurrent multi-client PMCD stress run "
               "(--clients/--fetches)")
+        print("bench       Parallel benchmark suite with regression "
+              "baselines (bench --help)")
         return 0
     if args.experiment == "pcp-stress":
         return _run_pcp_stress(args)

@@ -18,7 +18,6 @@ Batched kernels (one independent instance per core, the paper's
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters

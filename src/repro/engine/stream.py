@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, List, NamedTuple
 
 from ..errors import ConfigurationError
 from ..machine.prefetch import SoftwarePrefetch, StreamDetector
-from ..machine.store import StoreContext, StorePolicy, resolve_store_policy
+from ..machine.store import StoreContext, resolve_store_policy
 
 
 class Access(NamedTuple):

@@ -9,7 +9,7 @@ assert on (ratios, crossovers, phase signatures). ``repro-experiments
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..errors import ConfigurationError
 from ..measure.report import format_table

@@ -18,8 +18,7 @@ sizes, while the numerics of the algorithm are verified separately in
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 from ..engine.executor import Executor
 from ..errors import ConfigurationError

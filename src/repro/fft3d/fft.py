@@ -112,7 +112,6 @@ class Distributed3DFFT:
         grid = self.grid
         n = self.n
         p = self.block.planes   # N / r
-        r_ = self.block.rows    # N / c
         if len(blocks) != grid.size:
             raise ConfigurationError(
                 f"need {grid.size} blocks, got {len(blocks)}")
@@ -161,7 +160,6 @@ class Distributed3DFFT:
         inverse 1-D FFTs along each axis.
         """
         grid = self.grid
-        n = self.n
         p = self.block.planes
         if len(blocks) != grid.size:
             raise ConfigurationError(

@@ -40,7 +40,6 @@ from ..engine.trace import KernelModel
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
 from ..machine.prefetch import SoftwarePrefetch
-from ..machine.store import StorePolicy
 from ..rng import substream
 from ..units import DOUBLE_COMPLEX
 from .decomp import LocalBlock

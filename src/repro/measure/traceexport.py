@@ -11,7 +11,7 @@ read/write rates, GPU power, and network receive rate.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import ConfigurationError
 from .timeline import Timeline

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..errors import PapiNoComponent, PapiNoEvent
 from .consts import COMPONENT_DELIMITER

@@ -16,7 +16,7 @@ semantics.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..errors import PapiNoEvent
 from ..pmu.events import all_pcp_events, all_uncore_events

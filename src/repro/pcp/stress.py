@@ -59,6 +59,11 @@ def run_stress(n_clients: int = 8, n_fetches: int = 32,
     errors: List[str] = []
     cross_wired = [0]
     non_monotone = [0]
+    #: Clients whose run died on an exception the transport's
+    #: retry/reconnect machinery could not absorb.
+    unrecovered = [0]
+    completed = [0]
+    transport_totals = {"retries": 0, "timeouts": 0, "reconnects": 0}
     report_lock = threading.Lock()
     barrier = threading.Barrier(n_clients)
 
@@ -86,11 +91,18 @@ def run_stress(n_clients: int = 8, n_fetches: int = 32,
                     with report_lock:
                         non_monotone[0] += 1
                 last_timestamp = timestamp
+            with report_lock:
+                completed[0] += 1
         except Exception as exc:  # surfaced in the report, not swallowed
             with report_lock:
                 errors.append(f"client {index}: {exc!r}")
+                unrecovered[0] += 1
         finally:
             if remote is not None:
+                stats = remote.transport_stats()
+                with report_lock:
+                    for key in transport_totals:
+                        transport_totals[key] += stats[key]
                 remote.close()
 
     threads = [threading.Thread(target=worker, args=(i,), daemon=True)
@@ -99,6 +111,12 @@ def run_stress(n_clients: int = 8, n_fetches: int = 32,
         thread.start()
     for thread in threads:
         thread.join(timeout=60)
+    # A client thread still alive here hung past the join deadline —
+    # an unrecovered fault even though it raised no exception.
+    hung = sum(1 for thread in threads if thread.is_alive())
+    if hung:
+        errors.append(f"{hung} client(s) hung past the join deadline")
+        unrecovered[0] += hung
     service = server.stats.snapshot()
     daemon = pmcd.stats.snapshot()
     if own_server:
@@ -125,4 +143,9 @@ def run_stress(n_clients: int = 8, n_fetches: int = 32,
         "latency_max_usec": service["latency_max_usec"],
         "connections": service["connections"],
         "faults_injected": service["faults"],
+        "clients_completed": completed[0],
+        "unrecovered_faults": unrecovered[0],
+        "client_retries": transport_totals["retries"],
+        "client_timeouts": transport_totals["timeouts"],
+        "client_reconnects": transport_totals["reconnects"],
     }

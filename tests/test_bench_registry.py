@@ -1,0 +1,149 @@
+"""Unit tests for the benchmark registry and script discovery."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchContext,
+    all_benchmarks,
+    benchmark,
+    discover,
+    get_benchmark,
+)
+from repro.bench.registry import (
+    DEFAULT_SEED,
+    _REGISTRY,
+    load_script,
+    validate_metrics,
+)
+from repro.errors import ConfigurationError
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+#: Every benchmark the paper-reproduction suite ships; discovery must
+#: find each one or CI silently stops gating it.
+EXPECTED = {
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "table1", "table2",
+    "ext-gridshape", "ext-power10", "ext-spmv",
+    "ablation-noise", "ablation-pcp-overhead", "ablation-repetitions",
+    "ablation-slices", "ablation-store-policy",
+}
+
+
+def test_discover_finds_every_paper_benchmark():
+    specs = discover(BENCH_DIR)
+    names = {spec.name for spec in specs}
+    assert EXPECTED <= names, sorted(EXPECTED - names)
+    for spec in specs:
+        assert spec.source, spec.name
+        assert Path(spec.source).name.startswith("bench_")
+        assert spec.tags, f"{spec.name} carries no tags"
+
+
+def test_discover_is_idempotent_and_sorted():
+    first = discover(BENCH_DIR)
+    second = discover(BENCH_DIR)
+    assert [s.name for s in first] == [s.name for s in second]
+    assert [s.name for s in first] == sorted(s.name for s in first)
+
+
+def test_discover_missing_directory_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        discover(tmp_path / "nope")
+
+
+def test_registered_specs_resolve_by_name():
+    discover(BENCH_DIR)
+    spec = get_benchmark("fig2")
+    assert spec.name == "fig2"
+    assert spec is get_benchmark("fig2")
+    with pytest.raises(ConfigurationError):
+        get_benchmark("no-such-benchmark")
+
+
+def test_decorator_attaches_spec_and_registers():
+    name = "registry-selftest-inline"
+    try:
+        @benchmark(name, tags=("selftest",))
+        def bench_inline(ctx):
+            return {"seed_echo": float(ctx.seed)}
+
+        assert bench_inline.benchmark_spec.name == name
+        assert get_benchmark(name).tags == ("selftest",)
+        assert name in {s.name for s in all_benchmarks()}
+        metrics = get_benchmark(name).run()
+        assert metrics == {"seed_echo": float(DEFAULT_SEED)}
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+def test_same_name_from_two_files_is_rejected(tmp_path):
+    body = (
+        "from repro.bench import benchmark\n\n"
+        "@benchmark('registry-selftest-dupe')\n"
+        "def bench_dupe(ctx):\n"
+        "    return {'m': 1.0}\n"
+    )
+    try:
+        (tmp_path / "bench_one.py").write_text(body)
+        (tmp_path / "bench_two.py").write_text(body)
+        with pytest.raises(ConfigurationError, match="registered by both"):
+            discover(tmp_path)
+    finally:
+        _REGISTRY.pop("registry-selftest-dupe", None)
+
+
+def test_load_script_returns_what_the_file_registered(tmp_path):
+    path = tmp_path / "bench_solo.py"
+    path.write_text(
+        "from repro.bench import benchmark\n\n"
+        "@benchmark('registry-selftest-solo', tags=('a', 'b'))\n"
+        "def bench_solo(ctx):\n"
+        "    return {'m': 2.0}\n"
+    )
+    try:
+        specs = load_script(path)
+        assert [s.name for s in specs] == ["registry-selftest-solo"]
+        assert specs[0].tags == ("a", "b")
+        # Re-loading the same file is a cache hit, not a duplicate.
+        assert [s.name for s in load_script(path)] == [
+            "registry-selftest-solo"
+        ]
+    finally:
+        _REGISTRY.pop("registry-selftest-solo", None)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        None,
+        [],
+        {},
+        {"x": "not a number"},
+        {"x": True},
+        {"x": math.nan},
+        {"x": math.inf},
+        {3: 1.0},
+    ],
+)
+def test_result_dict_convention_is_enforced(bad):
+    with pytest.raises(ConfigurationError):
+        validate_metrics("demo", bad)
+
+
+def test_validate_metrics_accepts_ints_and_floats():
+    clean = validate_metrics("demo", {"a": 1, "b": 2.5})
+    assert clean == {"a": 1, "b": 2.5}
+
+
+def test_bench_context_services():
+    ctx = BenchContext()
+    assert ctx.seed == DEFAULT_SEED
+    ctx.log("hello")
+    ctx.log("world")
+    assert ctx.logs == ["hello", "world"]
+    result = ctx.run_experiment("table1")
+    assert ctx.results["table1"] is result

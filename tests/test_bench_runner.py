@@ -1,0 +1,176 @@
+"""Unit tests for the parallel benchmark runner.
+
+These synthesise tiny benchmark scripts in a temp directory and drive
+the real process pool against them, covering the three containment
+guarantees: in-benchmark exceptions become ``error`` records, deadline
+overruns become ``timeout`` records without stalling the queue, and a
+worker killed outright becomes a ``crashed`` record while the
+not-yet-started benchmarks still run to completion.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.bench import RunnerConfig, run_benchmarks
+from repro.bench.registry import _REGISTRY, load_script
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _write_script(tmp_path, filename, body):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+@pytest.fixture
+def scratch_registry():
+    """Track and evict the names the test registers."""
+    before = set(_REGISTRY)
+    yield None
+    for name in set(_REGISTRY) - before:
+        _REGISTRY.pop(name, None)
+
+
+def _specs_from(tmp_path, scripts):
+    specs = []
+    for filename, body in scripts.items():
+        specs.extend(load_script(_write_script(tmp_path, filename, body)))
+    return sorted(specs, key=lambda s: s.name)
+
+
+OK_SCRIPT = """
+    from repro.bench import benchmark
+
+    @benchmark("runner-ok-{n}", tags=("selftest",))
+    def bench_ok(ctx):
+        return {{"value": {value}, "seed_echo": float(ctx.seed)}}
+"""
+
+FAILING_SCRIPT = """
+    from repro.bench import benchmark
+
+    @benchmark("runner-raises", tags=("selftest",))
+    def bench_raises(ctx):
+        raise ValueError("deliberate benchmark failure")
+"""
+
+SLOW_SCRIPT = """
+    import time
+
+    from repro.bench import benchmark
+
+    @benchmark("runner-sleeps", tags=("selftest",))
+    def bench_sleeps(ctx):
+        time.sleep(60.0)
+        return {"never": 1.0}
+"""
+
+CRASH_SCRIPT = """
+    import os
+
+    from repro.bench import benchmark
+
+    @benchmark("runner-crashes", tags=("selftest",))
+    def bench_crashes(ctx):
+        os._exit(17)
+"""
+
+
+def test_runner_requires_specs():
+    with pytest.raises(ConfigurationError):
+        run_benchmarks([])
+
+
+def test_runner_happy_path_and_error_containment(
+    tmp_path, scratch_registry
+):
+    specs = _specs_from(
+        tmp_path,
+        {
+            "bench_a.py": OK_SCRIPT.format(n=1, value=1.25),
+            "bench_b.py": OK_SCRIPT.format(n=2, value=2.5),
+            "bench_c.py": FAILING_SCRIPT,
+        },
+    )
+    seen = []
+    records = run_benchmarks(
+        specs,
+        RunnerConfig(max_workers=2, timeout_s=60.0, seed=777),
+        progress=seen.append,
+    )
+    assert [r["name"] for r in records] == [
+        "runner-ok-1",
+        "runner-ok-2",
+        "runner-raises",
+    ]
+    assert sorted(r["name"] for r in seen) == [
+        r["name"] for r in records
+    ]
+    by_name = {r["name"]: r for r in records}
+    for name, value in (("runner-ok-1", 1.25), ("runner-ok-2", 2.5)):
+        record = by_name[name]
+        assert record["status"] == "ok"
+        assert record["metrics"] == {"value": value, "seed_echo": 777.0}
+        assert record["wall_s"] >= 0.0
+        assert record["peak_rss_kb"] > 0
+        assert record["tags"] == ["selftest"]
+        assert record["error"] is None
+    failed = by_name["runner-raises"]
+    assert failed["status"] == "error"
+    assert "deliberate benchmark failure" in failed["error"]
+    assert failed["metrics"] == {}
+
+
+def test_timeout_is_recorded_without_stalling_the_run(
+    tmp_path, scratch_registry
+):
+    specs = _specs_from(
+        tmp_path,
+        {
+            "bench_slow.py": SLOW_SCRIPT,
+            "bench_fast.py": OK_SCRIPT.format(n=3, value=3.0),
+        },
+    )
+    records = run_benchmarks(
+        specs, RunnerConfig(max_workers=2, timeout_s=1.0)
+    )
+    by_name = {r["name"]: r for r in records}
+    timed_out = by_name["runner-sleeps"]
+    assert timed_out["status"] == "timeout"
+    assert "deadline" in timed_out["error"]
+    assert by_name["runner-ok-3"]["status"] == "ok"
+
+
+def test_worker_crash_is_isolated_and_queue_drains(
+    tmp_path, scratch_registry
+):
+    specs = _specs_from(
+        tmp_path,
+        {
+            "bench_crash.py": CRASH_SCRIPT,
+            "bench_d.py": OK_SCRIPT.format(n=4, value=4.0),
+            "bench_e.py": OK_SCRIPT.format(n=5, value=5.0),
+        },
+    )
+    # One worker makes attribution deterministic: the crasher is the
+    # only benchmark in flight when the pool breaks, and the other two
+    # must be resubmitted to the rebuilt pool.
+    records = run_benchmarks(
+        specs, RunnerConfig(max_workers=1, timeout_s=60.0)
+    )
+    by_name = {r["name"]: r for r in records}
+    assert len(records) == 3
+    assert by_name["runner-crashes"]["status"] == "crashed"
+    assert by_name["runner-ok-4"]["status"] == "ok"
+    assert by_name["runner-ok-5"]["status"] == "ok"
+
+
+def test_resolved_workers_bounds():
+    assert RunnerConfig(max_workers=3).resolved_workers(100) == 3
+    assert RunnerConfig(max_workers=0).resolved_workers(100) == 1
+    auto = RunnerConfig().resolved_workers(100)
+    assert 1 <= auto <= 8
+    assert RunnerConfig().resolved_workers(1) == 1

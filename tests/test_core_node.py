@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.machine.config import SUMMIT, TELLICO
+from repro.machine.config import SUMMIT
 from repro.machine.node import Node
 from repro.noise import QUIET
 

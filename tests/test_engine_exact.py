@@ -84,7 +84,6 @@ class TestStridedGather:
         engine = ExactEngine(CacheConfig(capacity_bytes=16 * 1024))
         streams, accesses = self._nest(256, 64)
         t = engine.run_nest(streams, accesses)
-        nbytes = 256 * 64 * 16
         ratio = t.read_bytes / t.write_bytes
         assert ratio > 3.5  # toward the 5x of Eq. 7's regime
 

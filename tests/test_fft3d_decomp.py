@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fft3d.decomp import LocalBlock, gather, local_block, scatter
+from repro.fft3d.decomp import gather, local_block, scatter
 from repro.mpi.grid import ProcessorGrid
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import MPIError
-from repro.machine.config import NICConfig, SUMMIT, TELLICO
+from repro.machine.config import NICConfig, SUMMIT
 from repro.mpi.comm import Cluster, SimComm
 from repro.mpi.grid import ProcessorGrid
 from repro.mpi.network import COUNTER_UNIT_BYTES, NICPort

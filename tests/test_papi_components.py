@@ -7,7 +7,7 @@ from repro.errors import (
     PapiNoEvent,
     PapiPermissionDenied,
 )
-from repro.machine.config import SUMMIT, TELLICO
+from repro.machine.config import TELLICO
 from repro.machine.node import Node
 from repro.papi import library_init
 from repro.papi.consts import PAPI_VER_CURRENT, strerror

@@ -7,7 +7,7 @@ from repro.machine.config import SUMMIT
 from repro.machine.node import Node
 from repro.noise import QUIET
 from repro.pcp.client import PmapiContext
-from repro.pcp.pmcd import PMCD, start_pmcd_for_node
+from repro.pcp.pmcd import start_pmcd_for_node
 from repro.pcp.pmda import PerfeventPMDA, make_pmid, pmid_domain
 from repro.pcp.protocol import (
     ChildrenRequest,

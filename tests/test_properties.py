@@ -1,10 +1,9 @@
 """Property-based tests (hypothesis) for core invariants."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.analytic import CacheContext, cache_fit_fraction
+from repro.engine.analytic import cache_fit_fraction
 from repro.machine.cache import CacheSim
 from repro.machine.config import CacheConfig
 from repro.machine.memory import MemoryController

@@ -1,6 +1,5 @@
 """Additional property-based tests (devices, collectives, kernels)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.machine.config import SUMMIT
 from repro.noise import QUIET
 from repro.qmc.app import QMCPACKApp
 from repro.qmc.dmc import DMC
