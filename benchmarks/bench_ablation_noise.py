@@ -13,8 +13,6 @@ one at a time shows each figure feature has exactly one owner:
 
 import dataclasses
 
-import pytest
-
 from repro.bench import benchmark
 from repro.kernels import CappedGemv, Gemm
 from repro.measure import MeasurementSession, format_table
@@ -65,6 +63,8 @@ def bench_ablation_noise(ctx):
 
 
 def test_ablation_noise_mechanisms(run_bench):
+    import pytest
+
     _, metrics = run_bench(bench_ablation_noise)
     # The floor is a window effect...
     assert metrics["fig2_full_ratio"] > 3.0

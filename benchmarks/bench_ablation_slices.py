@@ -9,8 +9,6 @@ predict a drastic jump the paper does not observe — the
 re-appropriation mechanism is load-bearing.
 """
 
-import pytest
-
 from repro.bench import benchmark
 from repro.engine.executor import Executor
 from repro.kernels import Gemm
@@ -55,6 +53,8 @@ def bench_ablation_slices(ctx):
 
 
 def test_ablation_slice_reappropriation(run_bench):
+    import pytest
+
     _, metrics = run_bench(bench_ablation_slices)
     # Below the boundary both stay near the expectation (the spill
     # mechanism already adds a mild excess to the re-appropriated case).

@@ -10,8 +10,6 @@ when ``-fprefetch-loop-arrays`` re-enables the read (Fig 6b), which is
 exactly why that flag is the natural experimental control.
 """
 
-import pytest
-
 from repro.bench import benchmark
 from repro.engine.analytic import CacheContext
 from repro.fft3d import LocalBlock, S1CFLoopNest1, S2CF
@@ -53,6 +51,8 @@ def bench_ablation_store_policy(ctx):
 
 
 def test_ablation_store_policy(run_bench):
+    import pytest
+
     _, metrics = run_bench(bench_ablation_store_policy)
     for routine, observed in OBSERVED.items():
         with_flag = OBSERVED_WITH_FLAG[routine]

@@ -5,8 +5,6 @@ invariant across decompositions, while the All2All volume depends on
 the grid shape (degenerate 1xP / Px1 grids drop one exchange).
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -25,6 +23,8 @@ def bench_ext_gridshape(ctx):
 
 
 def test_ext_gridshape(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_ext_gridshape)
     per = ctx.results["ext-gridshape"].extras["per_shape"]
     for shape, data in per.items():

@@ -6,8 +6,6 @@ stays exact below the new boundary and jumps past it — one boundary
 step later than on Summit.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -27,6 +25,8 @@ def bench_ext_power10(ctx):
 
 
 def test_ext_power10(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_ext_power10)
     assert metrics["band_lo"] == pytest.approx(591, abs=2)
     assert metrics["band_hi"] == pytest.approx(1024, abs=2)

@@ -7,8 +7,6 @@ once it does not — the same boundary methodology as Figs 3/5, applied
 to an irregular access pattern.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -29,6 +27,8 @@ def bench_ext_spmv(ctx):
 
 
 def test_ext_spmv(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_ext_spmv)
     result = ctx.results["ext-spmv"]
     per_nnz = result.extras["per_nnz"]

@@ -5,8 +5,6 @@ tight min/max bands across ranks and runs (large problems measure
 cleanly with a single run, as the paper notes).
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -26,6 +24,8 @@ def bench_fig10(ctx):
 
 
 def test_fig10(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig10)
     per = ctx.results["fig10"].extras["per_routine"]
     for n in (1344, 2016):

@@ -5,8 +5,6 @@ from its (memory R/W, GPU power, network) signature — the paper's
 headline multi-component demonstration.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -36,6 +34,8 @@ def bench_fig11(ctx):
 
 
 def test_fig11(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig11)
     result = ctx.results["fig11"]
     totals = result.extras["phase_totals"]

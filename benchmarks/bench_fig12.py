@@ -6,8 +6,6 @@ walker-exchange network activity exclusive to DMC — and the underlying
 physics is sound (energies near the exact ground state).
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -33,6 +31,8 @@ def bench_fig12(ctx):
 
 
 def test_fig12(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig12)
     result = ctx.results["fig12"]
     assert (metrics["power_vmc_nodrift_w"]

@@ -5,8 +5,6 @@ problems drift above the expectation, on BOTH measurement paths — and
 the divergence band lands at the paper's N in [467, 809].
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -25,6 +23,8 @@ def bench_fig2(ctx):
 
 
 def test_fig2(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig2)
     result = ctx.results["fig2"]
     lo, hi = result.extras["band"]

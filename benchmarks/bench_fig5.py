@@ -5,8 +5,6 @@ transition at M = 1280; writes exceed expectation and settle only past
 M ≈ 1e4; both panels behave the same (not a PCP artifact).
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -28,6 +26,8 @@ def bench_fig5(ctx):
 
 
 def test_fig5(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig5)
     result = ctx.results["fig5"]
     for panel in ("summit", "tellico"):

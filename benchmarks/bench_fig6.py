@@ -4,8 +4,6 @@ Shape asserted: ~1 read per element without flags (the expected second
 read is absent: stores bypass), ~2 reads with -fprefetch-loop-arrays.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -26,6 +24,8 @@ def bench_fig6(ctx):
 
 
 def test_fig6(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig6)
     result = ctx.results["fig6"]
     plain = {r[0]: r for r in result.extras["plain"]}

@@ -5,8 +5,6 @@ Shape asserted: reads per element ramp from 2 (below N≈724) to 5
 achieved bandwidth without changing the asymptotic traffic shape.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -28,6 +26,8 @@ def bench_fig7(ctx):
 
 
 def test_fig7(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig7)
     result = ctx.results["fig7"]
     assert result.extras["eq7_boundary"] == pytest.approx(724, abs=1)

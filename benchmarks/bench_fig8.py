@@ -4,8 +4,6 @@ Shape asserted: exactly 2 reads and 1 write per element at every
 stable size — "precisely what we observe" in the paper.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 
@@ -20,6 +18,8 @@ def bench_fig8(ctx):
 
 
 def test_fig8(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig8)
     result = ctx.results["fig8"]
     for row in result.extras["plain"]:

@@ -5,8 +5,6 @@ with -fprefetch-loop-arrays, and higher bandwidth than S1CF loop
 nest 2 thanks to locality.
 """
 
-import pytest
-
 from repro.bench import benchmark
 
 SIZES = (768, 1024, 1280)
@@ -26,6 +24,8 @@ def bench_fig9(ctx):
 
 
 def test_fig9(run_bench):
+    import pytest
+
     ctx, metrics = run_bench(bench_fig9)
     result = ctx.results["fig9"]
     plain = {r[0]: r for r in result.extras["plain"]}

@@ -14,9 +14,14 @@ Failure containment:
 * an exception inside a benchmark is caught in the worker and comes
   back as a ``status="error"`` record;
 * a benchmark overrunning its deadline is recorded as
-  ``status="timeout"`` and abandoned — the remaining workers keep
-  draining the queue, and any straggler process is terminated when
-  the run finishes;
+  ``status="timeout"`` and its hung worker is killed on the spot, so
+  a stuck benchmark can never pin a worker slot for the rest of the
+  run (hung workers filling the pool would otherwise starve queued
+  benchmarks forever). Killing a worker breaks the whole
+  ``ProcessPoolExecutor``, so the runner rebuilds the pool and
+  resubmits every other in-flight or queued benchmark — the
+  innocents restart with a fresh deadline rather than being blamed
+  for the teardown;
 * a worker that dies outright (``os._exit``, segfault, OOM kill)
   breaks the pool; the runner marks the benchmarks that were running
   at that moment ``status="crashed"``, rebuilds the pool, and
@@ -188,6 +193,7 @@ def run_benchmarks(
         started = manager.dict()
         pool = _make_pool(ctx, workers)
         rebuilds = 0
+        killed_pids: set = set()
         pending: Dict[object, BenchmarkSpec] = {}
 
         def submit(spec: BenchmarkSpec) -> None:
@@ -209,17 +215,14 @@ def run_benchmarks(
                 return_when=FIRST_COMPLETED,
             )
             broken = False
-            orphans: List[BenchmarkSpec] = []
+            stranded: List[BenchmarkSpec] = []
             for future in done:
                 spec = pending.pop(future)
                 try:
                     emit(future.result())
                 except BrokenProcessPool:
                     broken = True
-                    if spec.name in started:
-                        emit(_crash_record(spec))
-                    else:
-                        orphans.append(spec)
+                    stranded.append(spec)
                 except Exception as exc:
                     emit(
                         _failure_record(
@@ -229,10 +232,18 @@ def run_benchmarks(
                         )
                     )
             if broken:
-                rebuilds += 1
-                survivors = _split_crash_victims(
-                    pending, started, orphans, emit
-                )
+                stranded.extend(pending.values())
+                if killed_pids:
+                    # We broke the pool ourselves terminating a hung
+                    # worker; the other benchmarks it stranded are
+                    # innocent — restart them with fresh deadlines.
+                    survivors = list(stranded)
+                    for spec in survivors:
+                        started.pop(spec.name, None)
+                else:
+                    rebuilds += 1
+                    survivors = _split_crash_victims(stranded, started, emit)
+                killed_pids.clear()
                 pending.clear()
                 _force_shutdown(pool)
                 if rebuilds > len(specs) + 1:
@@ -249,7 +260,12 @@ def run_benchmarks(
                 for spec in survivors:
                     submit(spec)
                 continue
-            _expire_deadlines(pending, started, config.timeout_s, emit)
+            expired_pids = _expire_deadlines(
+                pending, started, config.timeout_s, emit
+            )
+            for pid in expired_pids:
+                killed_pids.add(pid)
+                _terminate_worker(pool, pid)
         _force_shutdown(pool)
     finally:
         manager.shutdown()
@@ -266,18 +282,16 @@ def _crash_record(spec: BenchmarkSpec) -> dict:
     )
 
 
-def _split_crash_victims(pending, started, orphans, emit):
-    """The pool broke: report the in-flight benchmarks, keep the rest.
+def _split_crash_victims(stranded, started, emit):
+    """The pool broke on its own: blame the in-flight, keep the rest.
 
-    Every pending benchmark that had stamped a start time was running
+    Every stranded benchmark that had stamped a start time was running
     in some worker when the pool died (the executor tears all workers
-    down); each is reported as crashed. Benchmarks that never started
-    — including ``orphans`` whose futures surfaced the break before
-    ever reaching a worker — are returned for resubmission to a fresh
-    pool.
+    down); each is reported as crashed. Benchmarks that never reached
+    a worker are returned for resubmission to a fresh pool.
     """
-    survivors = list(orphans)
-    for spec in pending.values():
+    survivors = []
+    for spec in stranded:
         if spec.name in started:
             emit(_crash_record(spec))
         else:
@@ -285,10 +299,20 @@ def _split_crash_victims(pending, started, orphans, emit):
     return survivors
 
 
-def _expire_deadlines(pending, started, timeout_s, emit) -> None:
-    """Abandon benchmarks running past their deadline."""
+def _expire_deadlines(pending, started, timeout_s, emit) -> List[int]:
+    """Abandon benchmarks running past their deadline.
+
+    Returns the pids of the workers that were running the expired
+    benchmarks; the caller kills them so a hung benchmark frees its
+    worker slot instead of occupying it until the end of the run.
+    """
     now = time.monotonic()
+    expired_pids: List[int] = []
     for future, spec in list(pending.items()):
+        if future.done():
+            # Finished between the futures_wait and this poll — let
+            # the next loop iteration emit the real result.
+            continue
         stamp = started.get(spec.name)
         if stamp is None:
             continue
@@ -297,11 +321,28 @@ def _expire_deadlines(pending, started, timeout_s, emit) -> None:
             continue
         del pending[future]
         future.cancel()
+        expired_pids.append(stamp[0])
         emit(
             _failure_record(
                 spec,
                 "timeout",
                 f"exceeded {timeout_s:.1f}s deadline "
-                f"(ran {elapsed:.1f}s); worker abandoned",
+                f"(ran {elapsed:.1f}s); worker killed",
             )
         )
+    return expired_pids
+
+
+def _terminate_worker(pool: ProcessPoolExecutor, pid: int) -> None:
+    """Kill one hung worker by pid (breaks the pool; caller rebuilds)."""
+    procs_map = getattr(pool, "_processes", None)
+    proc = procs_map.get(pid) if isinstance(procs_map, dict) else None
+    if proc is None:
+        return
+    try:
+        proc.kill()
+    except Exception:  # pragma: no cover - defensive
+        try:
+            proc.terminate()
+        except Exception:
+            pass

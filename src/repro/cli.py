@@ -268,8 +268,13 @@ def _print_bench_summary(report) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "bench":
-        return _run_bench(argv[1:])
+    if "bench" in argv:
+        # Dispatch to the bench sub-parser wherever the subcommand
+        # sits, so leading global flags (`--seed 42 bench`) work; the
+        # experiment parser has no string-valued options, so a bare
+        # `bench` token can only be the subcommand.
+        split = argv.index("bench")
+        return _run_bench(argv[:split] + argv[split + 1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():

@@ -100,6 +100,18 @@ def test_bench_without_matches_exits_two(bench_env):
     assert rc == 2
 
 
+def test_bench_dispatches_with_leading_global_flags(bench_env, capsys):
+    """`--seed 42 bench` must reach the bench parser, not the
+    experiment parser (the subcommand needn't be argv[0])."""
+    rc = main([
+        "--seed", "99", "bench", "--bench-dir", str(bench_env["dir"]),
+        "--no-report", "--jobs", "1", "--json",
+    ])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["config"]["seed"] == 99
+
+
 def test_bench_listed_in_cli_index(capsys):
     assert main(["--list"]) == 0
     assert "bench" in capsys.readouterr().out

@@ -43,6 +43,49 @@ def test_discover_finds_every_paper_benchmark():
         assert spec.tags, f"{spec.name} carries no tags"
 
 
+def test_discover_works_without_pytest():
+    """The CI bench job installs the package without test extras.
+
+    Discovery imports every bench script, so each must be importable
+    with pytest absent — the test helpers inside them defer their
+    pytest import to call time. Run in a subprocess with the import
+    blocked, since this process already has pytest loaded.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+    probe = (
+        "import sys\n"
+        "class _Block:\n"
+        "    def find_module(self, name, path=None):\n"
+        "        if name == 'pytest' or name.startswith('pytest.'):\n"
+        "            raise ImportError('pytest blocked')\n"
+        "sys.meta_path.insert(0, _Block())\n"
+        "sys.modules.pop('pytest', None)\n"
+        "from repro.bench import discover\n"
+        f"specs = discover({str(BENCH_DIR)!r})\n"
+        f"assert len(specs) >= {len(EXPECTED)}, len(specs)\n"
+        "print(len(specs))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert int(proc.stdout) >= len(EXPECTED)
+
+
 def test_discover_is_idempotent_and_sorted():
     first = discover(BENCH_DIR)
     second = discover(BENCH_DIR)

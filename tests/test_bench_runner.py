@@ -78,6 +78,38 @@ CRASH_SCRIPT = """
         os._exit(17)
 """
 
+HANG_SCRIPT = """
+    import time
+
+    from repro.bench import benchmark
+
+    @benchmark("runner-hang-{n}", tags=("selftest",))
+    def bench_hang(ctx):
+        time.sleep(60.0)
+        return {{"never": 1.0}}
+"""
+
+# Hangs on its first invocation, returns instantly on the second —
+# distinguishes "restarted after being stranded" from "ran once".
+RESTART_SCRIPT = """
+    import time
+    from pathlib import Path
+
+    from repro.bench import benchmark
+
+    MARKER = Path({marker!r})
+
+    @benchmark("runner-z-restart", tags=("selftest",))
+    def bench_restart(ctx):
+        runs = 1
+        if MARKER.exists():
+            runs = int(MARKER.read_text()) + 1
+        MARKER.write_text(str(runs))
+        if runs == 1:
+            time.sleep(60.0)
+        return {{"runs": float(runs)}}
+"""
+
 
 def test_runner_requires_specs():
     with pytest.raises(ConfigurationError):
@@ -142,6 +174,72 @@ def test_timeout_is_recorded_without_stalling_the_run(
     assert timed_out["status"] == "timeout"
     assert "deadline" in timed_out["error"]
     assert by_name["runner-ok-3"]["status"] == "ok"
+
+
+def test_hung_workers_do_not_starve_queued_benchmarks(
+    tmp_path, scratch_registry
+):
+    """Two hung benchmarks fill both workers while a third is queued.
+
+    The runner must kill the hung workers at their deadline so the
+    queued benchmark still gets a slot — previously the hung workers
+    kept their slots until the end of the run and the queued
+    benchmark (never started, so never expirable) spun forever.
+    """
+    specs = _specs_from(
+        tmp_path,
+        {
+            "bench_hang_a.py": HANG_SCRIPT.format(n="a"),
+            "bench_hang_b.py": HANG_SCRIPT.format(n="b"),
+            # Sorts after the hang benchmarks, so it is the queued one.
+            "bench_zfast.py": OK_SCRIPT.format(n=9, value=9.0),
+        },
+    )
+    records = run_benchmarks(
+        specs, RunnerConfig(max_workers=2, timeout_s=1.5)
+    )
+    by_name = {r["name"]: r for r in records}
+    assert len(records) == 3
+    assert by_name["runner-hang-a"]["status"] == "timeout"
+    assert by_name["runner-hang-b"]["status"] == "timeout"
+    assert by_name["runner-ok-9"]["status"] == "ok"
+    # Nobody gets blamed for the pool teardown the runner caused.
+    assert not [r for r in records if r["status"] == "crashed"]
+
+
+def test_innocent_inflight_benchmark_restarts_after_timeout_kill(
+    tmp_path, scratch_registry
+):
+    """Killing a hung worker must not fail its pool-mates.
+
+    hang-a and the instant ok-1 start first on the two workers; the
+    restart benchmark is queued, starts once ok-1 finishes, and hangs
+    on its first invocation. When hang-a hits the deadline the runner
+    kills its worker, which tears down the whole pool while the
+    restart benchmark is innocently in flight — it must be
+    resubmitted (observed as a second invocation), not reported as
+    crashed or timed out.
+    """
+    marker = tmp_path / "restart-marker.txt"
+    specs = _specs_from(
+        tmp_path,
+        {
+            "bench_hang_a.py": HANG_SCRIPT.format(n="a"),
+            "bench_ok.py": OK_SCRIPT.format(n=1, value=1.0),
+            "bench_restart.py": RESTART_SCRIPT.format(
+                marker=str(marker)
+            ),
+        },
+    )
+    records = run_benchmarks(
+        specs, RunnerConfig(max_workers=2, timeout_s=3.0)
+    )
+    by_name = {r["name"]: r for r in records}
+    assert by_name["runner-hang-a"]["status"] == "timeout"
+    assert by_name["runner-ok-1"]["status"] == "ok"
+    restarted = by_name["runner-z-restart"]
+    assert restarted["status"] == "ok"
+    assert restarted["metrics"]["runs"] == 2.0
 
 
 def test_worker_crash_is_isolated_and_queue_drains(
