@@ -64,6 +64,10 @@ class RunnerConfig:
     max_workers: Optional[int] = None
     timeout_s: float = 120.0
     seed: int = DEFAULT_SEED
+    #: When set, each worker runs its benchmark under :mod:`cProfile`
+    #: and dumps ``<name>.prof`` into this directory (loadable with
+    #: ``python -m pstats`` or snakeviz).
+    profile_dir: Optional[str] = None
 
     def resolved_workers(self, n_benchmarks: int) -> int:
         if self.max_workers is not None:
@@ -72,12 +76,16 @@ class RunnerConfig:
         return max(1, min(8, cores, n_benchmarks))
 
 
-def _worker_run(source, name, seed, started):
+def _worker_run(source, name, seed, started, profile_dir=None):
     """Worker-side entry: import the script, run one benchmark.
 
     Returns a complete result record; ordinary benchmark failures are
     folded into the record rather than raised, so only a dying worker
-    process surfaces as an executor error.
+    process surfaces as an executor error. With ``profile_dir`` the
+    benchmark body runs under :mod:`cProfile` and the stats are
+    dumped to ``<profile_dir>/<name>.prof`` (the profiler's overhead
+    is inside the recorded ``wall_s``, so profiled wall times must
+    not be compared against unprofiled baselines).
     """
     started[name] = (os.getpid(), time.monotonic())
     record = {
@@ -87,6 +95,7 @@ def _worker_run(source, name, seed, started):
         "wall_s": None,
         "peak_rss_kb": None,
         "metrics": {},
+        "profile": None,
         "error": None,
     }
     try:
@@ -94,7 +103,21 @@ def _worker_run(source, name, seed, started):
         spec = get_benchmark(name)
         record["tags"] = list(spec.tags)
         begun = time.perf_counter()
-        metrics = spec.run(BenchContext(seed))
+        if profile_dir is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                metrics = spec.run(BenchContext(seed))
+            finally:
+                profiler.disable()
+                prof_path = Path(profile_dir) / f"{name}.prof"
+                prof_path.parent.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(str(prof_path))
+                record["profile"] = str(prof_path)
+        else:
+            metrics = spec.run(BenchContext(seed))
         record["wall_s"] = time.perf_counter() - begun
         record["metrics"] = metrics
         record["status"] = "ok"
@@ -203,6 +226,7 @@ def run_benchmarks(
                 spec.name,
                 config.seed,
                 started,
+                config.profile_dir,
             )
             pending[future] = spec
 

@@ -121,6 +121,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
                              "(default: current directory)")
     parser.add_argument("--no-report", action="store_true",
                         help="skip writing the BENCH_<sha>.json file")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each benchmark under cProfile and "
+                             "write <name>.prof into the output "
+                             "directory, next to BENCH_<sha>.json")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON instead of "
                              "the summary table")
@@ -189,7 +193,9 @@ def _run_bench(argv: List[str]) -> int:
         print(f"no benchmarks matched under {bench_dir}", file=sys.stderr)
         return 2
     config = RunnerConfig(max_workers=args.jobs,
-                          timeout_s=args.timeout, seed=args.seed)
+                          timeout_s=args.timeout, seed=args.seed,
+                          profile_dir=args.output_dir
+                          if args.profile else None)
 
     def progress(record):
         wall = record["wall_s"]

@@ -1,26 +1,67 @@
 """Exact engine: drive the sectored cache simulator with a full trace.
 
-Used to *validate* the analytic traffic laws on small problem sizes
-(cross-validation tests), and available to users who want ground-truth
-traffic for custom access patterns. Policies (store bypass vs
-write-allocate) are resolved once per loop nest from the declared
-streams — reference kernels are steady-state loops, so the policy the
-hardware converges to is constant over the nest.
+Used to *validate* the analytic traffic laws (cross-validation tests),
+and available to users who want ground-truth traffic for custom access
+patterns. Policies (store bypass vs write-allocate) are resolved once
+per loop nest from the declared streams — reference kernels are
+steady-state loops, so the policy the hardware converges to is constant
+over the nest.
+
+Three speed tiers, all bit-identical in traffic (see DESIGN.md §6):
+
+* scalar — :class:`ExactEngine` fed an ``Access`` iterable; one Python
+  call per access (the oracle);
+* batch — :class:`ExactEngine` fed a :class:`BatchTrace`; columnar
+  sector expansion and run-coalesced simulation via
+  :meth:`CacheSim.access_batch`;
+* sharded — :class:`ShardedExactEngine`; the sector-expanded trace is
+  partitioned by set index across worker processes, each simulating its
+  slice of sets. Replacement state is per-set and a stable partition
+  preserves per-set program order exactly, so summing the per-shard
+  :class:`TrafficCounters` reproduces the single-process result.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..machine.cache import CacheSim, TrafficCounters
+import numpy as np
+
+from ..errors import SimulationError
+from ..machine.cache import CacheSim, TrafficCounters, expand_to_sectors
 from ..machine.config import CacheConfig
 from ..machine.prefetch import SoftwarePrefetch
 from ..machine.store import StorePolicy
-from .stream import Access, StreamDecl, resolve_policies
+from .stream import BatchTrace, StreamDecl, TraceLike, resolve_policies
+
+
+def _resolve_bypass(streams, prefetch) -> Dict[str, bool]:
+    policies = resolve_policies(list(streams), prefetch)
+    return {name: policy is StorePolicy.BYPASS
+            for name, policy in policies.items()}
+
+
+def _bypass_column(trace: BatchTrace,
+                   bypass: Dict[str, bool]) -> Optional[np.ndarray]:
+    """Per-row bypass flags for a batch trace; ``None`` when no stream
+    bypasses (lets the simulator skip the gather entirely)."""
+    per_stream = np.array(
+        [bypass.get(name, False) for name in trace.streams], dtype=bool)
+    if not per_stream.any():
+        return None
+    return per_stream[trace.stream_id] & trace.is_write
 
 
 class ExactEngine:
-    """Run program-ordered access traces through :class:`CacheSim`."""
+    """Run program-ordered access traces through :class:`CacheSim`.
+
+    ``run_nest`` accepts either an iterable of :class:`Access` objects
+    (scalar oracle path) or a :class:`BatchTrace` (columnar fast path);
+    both produce identical traffic.
+    """
 
     def __init__(self, cache: CacheConfig,
                  capacity_override: Optional[int] = None):
@@ -36,7 +77,7 @@ class ExactEngine:
 
     # ------------------------------------------------------------------
     def run_nest(self, streams: Iterable[StreamDecl],
-                 accesses: Iterable[Access],
+                 accesses: TraceLike,
                  prefetch: SoftwarePrefetch = SoftwarePrefetch(),
                  flush_at_end: bool = True) -> TrafficCounters:
         """Execute one loop nest and return its memory traffic.
@@ -46,18 +87,21 @@ class ExactEngine:
         real hardware eventually see those bytes; the analytic laws
         charge them immediately).
         """
-        streams = list(streams)
-        policies: Dict[str, StorePolicy] = resolve_policies(streams, prefetch)
-        bypass = {name: policy is StorePolicy.BYPASS
-                  for name, policy in policies.items()}
+        bypass = _resolve_bypass(streams, prefetch)
         before = (self.sim.traffic.read_bytes, self.sim.traffic.write_bytes)
-        for acc in accesses:
-            self.sim.access(acc.addr, acc.size, acc.is_write,
-                            bypass=bypass.get(acc.stream, False)
-                            if acc.is_write else False)
-            # Software dcbtst prefetch additionally pulls the store
-            # target into cache; the WRITE_ALLOCATE path already models
-            # the resulting read, so nothing extra is needed here.
+        if isinstance(accesses, BatchTrace):
+            if len(accesses):
+                self.sim.access_batch(
+                    accesses.addr, accesses.size, accesses.is_write,
+                    _bypass_column(accesses, bypass))
+        else:
+            for acc in accesses:
+                self.sim.access(acc.addr, acc.size, acc.is_write,
+                                bypass=bypass.get(acc.stream, False)
+                                if acc.is_write else False)
+                # Software dcbtst prefetch additionally pulls the store
+                # target into cache; the WRITE_ALLOCATE path already
+                # models the resulting read, so nothing extra is needed.
         if flush_at_end:
             self.sim.flush()
         after = self.sim.traffic
@@ -69,6 +113,142 @@ class ExactEngine:
     def reset(self) -> None:
         """Drop all cache state and traffic counters."""
         self.sim = CacheSim(self.cache_config)
+
+
+# ----------------------------------------------------------------------
+# set-sharded parallel simulation
+# ----------------------------------------------------------------------
+def _simulate_shard(config: CacheConfig, policy: str,
+                    addr: np.ndarray, size: np.ndarray,
+                    is_write: np.ndarray) -> Tuple[int, int, int, int]:
+    """Worker: simulate one shard's subsequence of the trace and flush.
+
+    Each worker builds a full-geometry simulator; only the sets in its
+    shard ever receive accesses, so memory cost is bounded by the
+    shard's resident lines.
+    """
+    sim = CacheSim(config, policy=policy)
+    sim.access_batch(addr, size, is_write)
+    sim.flush()
+    return (sim.traffic.read_bytes, sim.traffic.write_bytes,
+            sim.stats_hits, sim.stats_misses)
+
+
+class ShardedExactEngine:
+    """Exact simulation parallelized across L3-slice shard processes.
+
+    Correctness argument: replacement and residency state of a
+    set-associative cache is independent per set, and every sector-size
+    chunk of an access maps to exactly one set. Partitioning the
+    sector-expanded trace by ``set_index % n_shards`` with a *stable*
+    partition preserves each set's access subsequence in program order,
+    so every shard simulates its sets exactly as the single-process
+    engine would, and the per-shard traffic/hit/miss counters sum to
+    the single-process totals. Bypassed stores never touch cache sets
+    (they go through the write-combining buffer, a global FIFO whose
+    order a set partition would *not* preserve) — they are therefore
+    simulated in the parent, exactly.
+
+    Because each nest ends in a flush (write-backs charged to the nest
+    that dirtied the data), shards are independent per nest;
+    ``flush_at_end=False`` is rejected.
+    """
+
+    def __init__(self, cache: CacheConfig, n_shards: Optional[int] = None,
+                 capacity_override: Optional[int] = None,
+                 policy: str = "lru"):
+        if capacity_override is not None:
+            cache = CacheConfig(
+                capacity_bytes=_round_capacity(capacity_override, cache),
+                line_bytes=cache.line_bytes,
+                granule_bytes=cache.granule_bytes,
+                associativity=cache.associativity,
+            )
+        self.cache_config = cache
+        self.policy = policy
+        if n_shards is None:
+            n_shards = max(1, min(8, os.cpu_count() or 1))
+        self.n_shards = max(1, min(n_shards, cache.n_sets))
+        # The write-combining buffer lives in the parent simulator.
+        self.sim = CacheSim(cache, policy=policy)
+        self.last_stats: Optional[Dict[str, int]] = None
+
+    def run_nest(self, streams: Iterable[StreamDecl],
+                 accesses: TraceLike,
+                 prefetch: SoftwarePrefetch = SoftwarePrefetch(),
+                 flush_at_end: bool = True) -> TrafficCounters:
+        """Execute one loop nest sharded across worker processes."""
+        if not isinstance(accesses, BatchTrace):
+            raise SimulationError(
+                "ShardedExactEngine requires a BatchTrace; build one via "
+                "kernel.exact_trace() or BatchTrace.from_accesses()")
+        if not flush_at_end:
+            raise SimulationError(
+                "sharded simulation requires flush_at_end=True (shards "
+                "are only independent between flushed nests)")
+        trace = accesses
+        bypass = _resolve_bypass(streams, prefetch)
+        total = TrafficCounters()
+        hits = 0
+        misses = 0
+        if len(trace) == 0:
+            self.last_stats = {"hits": 0, "misses": 0}
+            return total
+
+        byp_col = _bypass_column(trace, bypass)
+        addr, size, is_write = trace.addr, trace.size, trace.is_write
+        if byp_col is not None:
+            keep = ~byp_col
+            self.sim.access_batch(addr[byp_col], size[byp_col],
+                                  is_write[byp_col],
+                                  np.ones(int(byp_col.sum()), dtype=bool))
+            addr, size, is_write = addr[keep], size[keep], is_write[keep]
+        self.sim.flush()  # drain the parent WCB
+        total.add(self.sim.reset_traffic())
+
+        if addr.size:
+            c_addr, c_size, c_write, _ = expand_to_sectors(
+                addr.astype(np.int64), size.astype(np.int64),
+                is_write, None, self.cache_config.granule_bytes)
+            line = c_addr // self.cache_config.line_bytes
+            shard_of = (line % self.cache_config.n_sets) % self.n_shards
+            parts = []
+            for shard in range(self.n_shards):
+                mask = shard_of == shard  # boolean mask: stable partition
+                if mask.any():
+                    parts.append((c_addr[mask], c_size[mask], c_write[mask]))
+            for r, w, h, m in self._map_shards(parts):
+                total.read_bytes += r
+                total.write_bytes += w
+                hits += h
+                misses += m
+        self.last_stats = {"hits": hits, "misses": misses}
+        return total
+
+    def _map_shards(self, parts: List[Tuple[np.ndarray, ...]]):
+        if len(parts) <= 1:
+            for a, s, w in parts:
+                yield _simulate_shard(self.cache_config, self.policy, a, s, w)
+            return
+        # fork keeps the shard columns copy-on-write on POSIX; spawn is
+        # the portable fallback (repro is importable in children via the
+        # inherited PYTHONPATH/installed package).
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ProcessPoolExecutor(max_workers=len(parts),
+                                 mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_simulate_shard, self.cache_config, self.policy,
+                            a, s, w)
+                for a, s, w in parts
+            ]
+            for future in futures:
+                yield future.result()
+
+    def reset(self) -> None:
+        self.sim = CacheSim(self.cache_config, policy=self.policy)
+        self.last_stats = None
 
 
 def _round_capacity(capacity: int, cache: CacheConfig) -> int:

@@ -43,13 +43,15 @@ import dataclasses
 import itertools
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
 from ..machine.prefetch import SoftwarePrefetch
 from ..machine.store import StorePolicy
 from ..units import ceil_div, round_up
 from .analytic import CacheContext, cache_fit_fraction
-from .stream import Access, StreamDecl, resolve_policies
+from .stream import Access, BatchTrace, StreamDecl, resolve_policies
 from .trace import KernelModel
 
 
@@ -170,6 +172,26 @@ class LoopNest(KernelModel):
                     acc.elem_bytes,
                     acc.is_write,
                 )
+
+    def exact_trace(self) -> BatchTrace:
+        """Vectorized trace: per-level index grids over the flattened
+        iteration space, one interleaved site stream per access."""
+        total = self.n_iterations
+        flat = np.arange(total, dtype=np.int64)
+        idx_grids = []
+        period = total
+        for bound in self.bounds:
+            period //= bound
+            idx_grids.append((flat // period) % bound)
+        sites = []
+        for acc in self.accesses:
+            elem = np.full(total, acc.offset, dtype=np.int64)
+            for coeff, grid in zip(acc.coeffs, idx_grids):
+                if coeff:
+                    elem += coeff * grid
+            addr = self._bases[acc.array] + elem * acc.elem_bytes
+            sites.append((acc.array, addr, acc.elem_bytes, acc.is_write))
+        return BatchTrace.interleaved(sites)
 
     # ------------------------------------------------------------------
     # the generic traffic law

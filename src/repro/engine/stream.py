@@ -10,7 +10,17 @@ prefetcher act on: direction, stride, and volume.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, List, NamedTuple
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..machine.prefetch import SoftwarePrefetch, StreamDetector
@@ -24,6 +34,117 @@ class Access(NamedTuple):
     addr: int
     size: int
     is_write: bool
+
+
+#: One access site for :meth:`BatchTrace.interleaved`:
+#: ``(stream name, start addresses, access size, is_write)``.
+Site = Tuple[str, np.ndarray, int, bool]
+
+
+@dataclasses.dataclass
+class BatchTrace:
+    """Columnar program-ordered access trace (batch engine input).
+
+    Semantically equivalent to a sequence of :class:`Access` objects —
+    row ``i`` is the ``i``-th access — but stored as NumPy columns so
+    the exact engine can sector-expand and simulate it vectorized.
+    ``stream_id`` indexes into ``streams``; duplicate names in
+    ``streams`` are allowed (several access sites of the same array)
+    and resolve to the same store policy.
+    """
+
+    streams: Tuple[str, ...]
+    stream_id: np.ndarray
+    addr: np.ndarray
+    size: np.ndarray
+    is_write: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.stream_id = np.ascontiguousarray(self.stream_id, np.int16)
+        self.addr = np.ascontiguousarray(self.addr, np.int64)
+        self.size = np.ascontiguousarray(self.size, np.int32)
+        self.is_write = np.ascontiguousarray(self.is_write, bool)
+        n = self.addr.size
+        if (self.stream_id.size != n or self.size.size != n
+                or self.is_write.size != n):
+            raise ConfigurationError("BatchTrace columns differ in length")
+        if n and int(self.size.min()) <= 0:
+            raise ConfigurationError("BatchTrace sizes must be positive")
+        if self.stream_id.size and (
+                int(self.stream_id.max()) >= len(self.streams)
+                or int(self.stream_id.min()) < 0):
+            raise ConfigurationError("BatchTrace stream_id out of range")
+
+    def __len__(self) -> int:
+        return int(self.addr.size)
+
+    @property
+    def nbytes(self) -> int:
+        return (self.stream_id.nbytes + self.addr.nbytes
+                + self.size.nbytes + self.is_write.nbytes)
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Access],
+                      streams: Sequence[str] = ()) -> "BatchTrace":
+        """Materialize a scalar access generator into columns.
+
+        ``streams`` pre-declares stream names (and their id order);
+        names encountered beyond it are appended.
+        """
+        names: List[str] = list(streams)
+        ids = {name: i for i, name in enumerate(names)}
+        sid, addr, size, w = [], [], [], []
+        for acc in accesses:
+            i = ids.get(acc.stream)
+            if i is None:
+                i = ids[acc.stream] = len(names)
+                names.append(acc.stream)
+            sid.append(i)
+            addr.append(acc.addr)
+            size.append(acc.size)
+            w.append(acc.is_write)
+        return cls(
+            streams=tuple(names),
+            stream_id=np.array(sid, np.int16),
+            addr=np.array(addr, np.int64),
+            size=np.array(size, np.int32),
+            is_write=np.array(w, bool),
+        )
+
+    @classmethod
+    def interleaved(cls, sites: Sequence[Site]) -> "BatchTrace":
+        """Round-robin interleave of equal-length access sites — the
+        columnar counterpart of :func:`interleave` for the common case
+        of one access per site per loop iteration."""
+        k = len(sites)
+        length = int(np.asarray(sites[0][1]).size)
+        for _, addrs, _, _ in sites:
+            if np.asarray(addrs).size != length:
+                raise ConfigurationError(
+                    "interleaved sites must have equal lengths")
+        total = length * k
+        addr = np.empty(total, np.int64)
+        sid = np.empty(total, np.int16)
+        size = np.empty(total, np.int32)
+        w = np.empty(total, bool)
+        for i, (_, addrs, elem, is_write) in enumerate(sites):
+            addr[i::k] = addrs
+            sid[i::k] = i
+            size[i::k] = elem
+            w[i::k] = is_write
+        return cls(tuple(s[0] for s in sites), sid, addr, size, w)
+
+    def to_accesses(self) -> Iterator[Access]:
+        """Row-wise view as scalar :class:`Access` objects (oracle side
+        of the differential tests)."""
+        names = self.streams
+        for i in range(self.addr.size):
+            yield Access(names[self.stream_id[i]], int(self.addr[i]),
+                         int(self.size[i]), bool(self.is_write[i]))
+
+
+#: What the exact engine accepts as a trace.
+TraceLike = Union[BatchTrace, Iterable[Access]]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -18,7 +18,7 @@ from typing import Iterator, List, Optional
 from ..machine.cache import TrafficCounters
 from ..machine.prefetch import SoftwarePrefetch
 from .analytic import CacheContext
-from .stream import Access, StreamDecl
+from .stream import Access, BatchTrace, StreamDecl
 
 
 class KernelModel(abc.ABC):
@@ -48,6 +48,18 @@ class KernelModel(abc.ABC):
         """Program-ordered accesses (exact engine); small sizes only."""
         raise NotImplementedError(
             f"{self.name} does not provide an exact trace"
+        )
+
+    def exact_trace(self) -> BatchTrace:
+        """Columnar program-ordered trace (batch/sharded engines).
+
+        Kernels override this with a vectorized emitter; the default
+        materializes :meth:`exact_accesses`, so any kernel with a
+        scalar trace works with the batch engine out of the box.
+        """
+        return BatchTrace.from_accesses(
+            self.exact_accesses(),
+            streams=[s.name for s in self.streams()],
         )
 
     # -------------------------------------------------------------- work

@@ -35,7 +35,12 @@ from ..engine.analytic import (
     sequential_write,
     strided_access,
 )
-from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.stream import (
+    Access,
+    BatchTrace,
+    StreamDecl,
+    resolve_policies,
+)
 from ..engine.trace import KernelModel
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
@@ -124,6 +129,14 @@ class S1CFLoopNest1(_ResortKernel):
             yield Access("in", i * e, e, False)
             yield Access("tmp", tmp_base + i * e, e, True)
 
+    def exact_trace(self) -> BatchTrace:
+        e = DOUBLE_COMPLEX
+        idx = np.arange(self.elements, dtype=np.int64) * e
+        return BatchTrace.interleaved([
+            ("in", idx, e, False),
+            ("tmp", self.nbytes + 256 + idx, e, True),
+        ])
+
     def expected_traffic(self, granule: int = 64) -> TrafficCounters:
         """Paper expectation: 2 reads (in + tmp RFO), 1 write."""
         return TrafficCounters(read_bytes=2 * self.nbytes,
@@ -198,6 +211,20 @@ class S1CFLoopNest2(_ResortKernel):
                     yield Access("out", out_base + idx * e, e, True)
                     idx += 1
 
+    def exact_trace(self) -> BatchTrace:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        t = np.arange(self.elements, dtype=np.int64)
+        # loop order (col, plane, row), innermost last
+        row = t % r
+        plane = (t // r) % p
+        col = t // (r * p)
+        src = (plane * r + row) * c + col
+        return BatchTrace.interleaved([
+            ("tmp", src * e, e, False),
+            ("out", self.nbytes + 256 + t * e, e, True),
+        ])
+
     def expected_traffic(self, granule: int = 64) -> TrafficCounters:
         """Paper expectation before measuring: 2 reads (tmp + out RFO),
         1 write — the strided amplification is the *measured* excess."""
@@ -271,6 +298,20 @@ class S1CFCombined(_ResortKernel):
                     dst = (col * p + plane) * r + row
                     yield Access("in", src * e, e, False)
                     yield Access("out", out_base + dst * e, e, True)
+
+    def exact_trace(self) -> BatchTrace:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        t = np.arange(self.elements, dtype=np.int64)
+        # loop order (plane, row, col), innermost last; src sequential
+        col = t % c
+        row = (t // c) % r
+        plane = t // (c * r)
+        dst = (col * p + plane) * r + row
+        return BatchTrace.interleaved([
+            ("in", t * e, e, False),
+            ("out", self.nbytes + 256 + dst * e, e, True),
+        ])
 
     def expected_traffic(self, granule: int = 64) -> TrafficCounters:
         """Fig 8 / Fig 10 expectation: 2 reads, 1 write per element."""
@@ -363,6 +404,23 @@ class S2CF(_ResortKernel):
                         yield Access("in", src * e, e, False)
                         yield Access("out", out_base + idx * e, e, True)
                         idx += 1
+
+    def exact_trace(self) -> BatchTrace:
+        e = DOUBLE_COMPLEX
+        p, r, c = self.block.shape
+        y = self.y_factor
+        x = c // y
+        t = np.arange(self.elements, dtype=np.int64)
+        # loop order (plane, xx, yy, row), innermost last; out sequential
+        row = t % r
+        yy = (t // r) % y
+        xx = (t // (r * y)) % x
+        plane = t // (r * y * x)
+        src = ((yy * p + plane) * x + xx) * r + row
+        return BatchTrace.interleaved([
+            ("in", src * e, e, False),
+            ("out", self.nbytes + 256 + t * e, e, True),
+        ])
 
     def expected_traffic(self, granule: int = 64) -> TrafficCounters:
         """Fig 9a / Fig 10 expectation: 1 read, 1 write per element."""

@@ -35,7 +35,12 @@ from ..engine.analytic import (
     sequential_read,
     sequential_write,
 )
-from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.stream import (
+    Access,
+    BatchTrace,
+    StreamDecl,
+    resolve_policies,
+)
 from ..engine.trace import KernelModel
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
@@ -105,6 +110,15 @@ class Dot(KernelModel):
         for i in range(self.n):
             yield Access("x", bx + i * DOUBLE, DOUBLE, False)
             yield Access("y", by + i * DOUBLE, DOUBLE, False)
+
+    def exact_trace(self) -> BatchTrace:
+        nbytes = self.n * DOUBLE
+        bx, by = _layout(nbytes, nbytes)
+        idx = np.arange(self.n, dtype=np.int64) * DOUBLE
+        return BatchTrace.interleaved([
+            ("x", bx + idx, DOUBLE, False),
+            ("y", by + idx, DOUBLE, False),
+        ])
 
     def flops(self) -> float:
         return 2.0 * self.n
@@ -200,6 +214,43 @@ class CappedGemv(KernelModel):
                 yield Access("x", bx + k * DOUBLE, DOUBLE, False)
             yield Access("y", by + i * DOUBLE, DOUBLE, True)
 
+    def exact_trace(self) -> BatchTrace:
+        m, n, p = self.m, self.n, self.p
+        a_bytes = p * n * DOUBLE
+        x_bytes = n * DOUBLE
+        y_bytes = m * DOUBLE
+        ba, bx, by = _layout(a_bytes, x_bytes, y_bytes)
+        # One row of i = 0 as a template (2n interleaved A/x loads then
+        # the y store), tiled m times with per-row offsets on A and y.
+        per_row = 2 * n + 1
+        k_idx = np.arange(n, dtype=np.int64)
+        tmpl_addr = np.empty(per_row, np.int64)
+        tmpl_addr[0:2 * n:2] = ba + k_idx * DOUBLE
+        tmpl_addr[1:2 * n:2] = bx + k_idx * DOUBLE
+        tmpl_addr[2 * n] = by
+        tmpl_sid = np.empty(per_row, np.int16)
+        tmpl_sid[0:2 * n:2] = 0
+        tmpl_sid[1:2 * n:2] = 1
+        tmpl_sid[2 * n] = 2
+        tmpl_w = np.zeros(per_row, bool)
+        tmpl_w[2 * n] = True
+        a_slots = np.zeros(per_row, np.int64)
+        a_slots[0:2 * n:2] = 1
+        y_slots = np.zeros(per_row, np.int64)
+        y_slots[2 * n] = 1
+        rows = np.arange(m, dtype=np.int64)
+        addr = np.tile(tmpl_addr, m)
+        addr += np.repeat((rows % p) * (n * DOUBLE), per_row) \
+            * np.tile(a_slots, m)
+        addr += np.repeat(rows * DOUBLE, per_row) * np.tile(y_slots, m)
+        return BatchTrace(
+            streams=("A", "x", "y"),
+            stream_id=np.tile(tmpl_sid, m),
+            addr=addr,
+            size=np.full(addr.size, DOUBLE, np.int32),
+            is_write=np.tile(tmpl_w, m),
+        )
+
     # work ---------------------------------------------------------------
     def flops(self) -> float:
         return 2.0 * self.m * self.n
@@ -292,6 +343,46 @@ class Gemm(KernelModel):
                     yield Access("A", ba + (i * n + k) * DOUBLE, DOUBLE, False)
                     yield Access("B", bb + (k * n + j) * DOUBLE, DOUBLE, False)
                 yield Access("C", bc + (i * n + j) * DOUBLE, DOUBLE, True)
+
+    def exact_trace(self) -> BatchTrace:
+        n = self.n
+        nbytes = n * n * DOUBLE
+        ba, bb, bc = _layout(nbytes, nbytes, nbytes)
+        # Template: the full i = 0 outer iteration ((2n+1)·n accesses).
+        # Later outer iterations shift only the A and C addresses (both
+        # by i·n·8 bytes, both at even slots of each j-block); B repeats
+        # unchanged, so only one add per outer iteration is needed.
+        per_j = 2 * n + 1
+        block = per_j * n
+        k_idx = np.arange(n, dtype=np.int64)
+        j_idx = np.arange(n, dtype=np.int64)
+        tmpl = np.empty(block, np.int64)
+        view = tmpl.reshape(n, per_j)
+        view[:, 0:2 * n:2] = ba + (k_idx * DOUBLE)[None, :]
+        view[:, 1:2 * n:2] = bb + (k_idx[None, :] * n
+                                   + j_idx[:, None]) * DOUBLE
+        view[:, 2 * n] = bc + j_idx * DOUBLE
+        jb_sid = np.empty(per_j, np.int16)
+        jb_sid[0:2 * n:2] = 0
+        jb_sid[1:2 * n:2] = 1
+        jb_sid[2 * n] = 2
+        jb_w = np.zeros(per_j, bool)
+        jb_w[2 * n] = True
+        ac_slots = np.zeros(per_j, np.int64)
+        ac_slots[0::2] = 1  # A at even k-slots, C at slot 2n (also even)
+        ac_block = np.tile(ac_slots, n)
+        addr = np.empty(block * n, np.int64)
+        for i in range(n):
+            np.multiply(ac_block, i * n * DOUBLE,
+                        out=addr[i * block:(i + 1) * block])
+            addr[i * block:(i + 1) * block] += tmpl
+        return BatchTrace(
+            streams=("A", "B", "C"),
+            stream_id=np.tile(jb_sid, n * n),
+            addr=addr,
+            size=np.full(addr.size, DOUBLE, np.int32),
+            is_write=np.tile(jb_w, n * n),
+        )
 
     # work ---------------------------------------------------------------
     def flops(self) -> float:

@@ -26,7 +26,12 @@ from ..engine.analytic import (
     sequential_read,
     sequential_write,
 )
-from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.stream import (
+    Access,
+    BatchTrace,
+    StreamDecl,
+    resolve_policies,
+)
 from ..engine.trace import KernelModel
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
@@ -270,6 +275,32 @@ class SpmvKernel(KernelModel):
                              + int(m.indices[p]) * DOUBLE, DOUBLE, False)
             yield Access("y", decls["y"].base + row * DOUBLE, DOUBLE,
                          True)
+
+    def exact_trace(self) -> BatchTrace:
+        decls = {d.name: d for d in self.streams()}
+        m = self.matrix
+        nnz = m.nnz
+        p = np.arange(nnz, dtype=np.int64)
+        inner = BatchTrace.interleaved([
+            ("values", decls["values"].base + p * DOUBLE, DOUBLE, False),
+            ("colidx", decls["colidx"].base + p * INDEX_BYTES,
+             INDEX_BYTES, False),
+            ("x", decls["x"].base
+             + m.indices.astype(np.int64) * DOUBLE, DOUBLE, False),
+        ])
+        # Insert the per-row y store after each row's nonzeros (three
+        # interleaved accesses per nonzero); empty rows stack their
+        # stores at the same insertion point in row order.
+        at = np.asarray(m.indptr[1:], dtype=np.int64) * 3
+        y_addr = decls["y"].base \
+            + np.arange(m.n_rows, dtype=np.int64) * DOUBLE
+        return BatchTrace(
+            streams=inner.streams + ("y",),
+            stream_id=np.insert(inner.stream_id, at, np.int16(3)),
+            addr=np.insert(inner.addr, at, y_addr),
+            size=np.insert(inner.size, at, np.int32(DOUBLE)),
+            is_write=np.insert(inner.is_write, at, True),
+        )
 
     # ----------------------------------------------------------- work
     def flops(self) -> float:

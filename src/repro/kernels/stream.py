@@ -29,7 +29,12 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from ..engine.analytic import CacheContext, combine, sequential_read, sequential_write
-from ..engine.stream import Access, StreamDecl, resolve_policies
+from ..engine.stream import (
+    Access,
+    BatchTrace,
+    StreamDecl,
+    resolve_policies,
+)
 from ..engine.trace import KernelModel
 from ..errors import ConfigurationError
 from ..machine.cache import TrafficCounters
@@ -119,6 +124,14 @@ class StreamKernel(KernelModel):
                 yield Access(f"src{idx}", bases[idx] + i * DOUBLE,
                              DOUBLE, False)
             yield Access("dst", bases[-1] + i * DOUBLE, DOUBLE, True)
+
+    def exact_trace(self) -> BatchTrace:
+        bases = self._bases()
+        idx = np.arange(self.n, dtype=np.int64) * DOUBLE
+        sites = [(f"src{i}", bases[i] + idx, DOUBLE, False)
+                 for i in range(self.n_sources)]
+        sites.append(("dst", bases[-1] + idx, DOUBLE, True))
+        return BatchTrace.interleaved(sites)
 
     # ----------------------------------------------------------- work
     def flops(self) -> float:

@@ -155,3 +155,27 @@ def test_pcp_stress_unrecovered_fault_exits_nonzero(monkeypatch, capsys):
     assert main(["pcp-stress", "--json"]) == 1
     report = json.loads(capsys.readouterr().out)
     assert report["unrecovered_faults"] == 1
+
+
+def test_bench_profile_flag_writes_prof_next_to_report(
+    tmp_path, capsys
+):
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    (bench_dir / "bench_cli_prof.py").write_text(
+        "from repro.bench import benchmark\n\n"
+        "@benchmark('cli-prof', tags=('selftest',))\n"
+        "def bench_cli_prof(ctx):\n"
+        "    return {'answer': 1.0}\n"
+    )
+    try:
+        rc = main([
+            "bench", "--bench-dir", str(bench_dir),
+            "--output-dir", str(tmp_path), "--profile",
+            "--jobs", "1", "--timeout", "60",
+        ])
+        assert rc == 0
+        assert (tmp_path / "cli-prof.prof").is_file()
+        assert list(tmp_path.glob("BENCH_*.json"))
+    finally:
+        _REGISTRY.pop("cli-prof", None)

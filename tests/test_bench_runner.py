@@ -272,3 +272,51 @@ def test_resolved_workers_bounds():
     auto = RunnerConfig().resolved_workers(100)
     assert 1 <= auto <= 8
     assert RunnerConfig().resolved_workers(1) == 1
+
+
+def test_profile_dir_writes_pstats_dump(tmp_path, scratch_registry):
+    import pstats
+
+    specs = _specs_from(
+        tmp_path, {"bench_a.py": OK_SCRIPT.format(n=9, value=9.0)}
+    )
+    prof_dir = tmp_path / "profiles"
+    records = run_benchmarks(
+        specs,
+        RunnerConfig(max_workers=1, timeout_s=60.0,
+                     profile_dir=str(prof_dir)),
+    )
+    [record] = records
+    assert record["status"] == "ok"
+    prof_path = prof_dir / "runner-ok-9.prof"
+    assert record["profile"] == str(prof_path)
+    assert prof_path.is_file()
+    stats = pstats.Stats(str(prof_path))
+    assert stats.total_calls > 0
+
+
+def test_profile_written_even_when_benchmark_raises(
+    tmp_path, scratch_registry
+):
+    specs = _specs_from(tmp_path, {"bench_c.py": FAILING_SCRIPT})
+    records = run_benchmarks(
+        specs,
+        RunnerConfig(max_workers=1, timeout_s=60.0,
+                     profile_dir=str(tmp_path)),
+    )
+    [record] = records
+    assert record["status"] == "error"
+    assert (tmp_path / "runner-raises.prof").is_file()
+
+
+def test_no_profile_dir_leaves_record_unprofiled(
+    tmp_path, scratch_registry
+):
+    specs = _specs_from(
+        tmp_path, {"bench_a.py": OK_SCRIPT.format(n=8, value=8.0)}
+    )
+    [record] = run_benchmarks(
+        specs, RunnerConfig(max_workers=1, timeout_s=60.0)
+    )
+    assert record["profile"] is None
+    assert not list(tmp_path.glob("*.prof"))

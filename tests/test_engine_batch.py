@@ -1,0 +1,313 @@
+"""Differential tests: batch/sharded exact engines vs the scalar oracle.
+
+DESIGN.md §6: the scalar per-access path of :class:`CacheSim` is the
+oracle; the columnar ``access_batch`` path and the set-sharded engine
+must reproduce its traffic, hit/miss counts, final cache state and
+write-combining buffer *exactly* on every trace, both policies, any
+chunking. The vectorized ``exact_trace`` emitters must likewise be
+byte-identical to each kernel's scalar ``exact_accesses`` generator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.exact import ExactEngine, ShardedExactEngine
+from repro.engine.loopnest import AffineAccess, LoopNest
+from repro.engine.stream import BatchTrace
+from repro.engine.tracecache import TraceCache, cached_exact_trace
+from repro.errors import SimulationError
+from repro.fft3d.decomp import LocalBlock
+from repro.fft3d.resort import (
+    S1CB,
+    S1CFCombined,
+    S1CFLoopNest1,
+    S1CFLoopNest2,
+    S1PB,
+    S1PF,
+    S2CB,
+    S2CF,
+    S2PB,
+    S2PF,
+)
+from repro.kernels.blas import CappedGemv, Dot, Gemm
+from repro.kernels.sparse import SpmvKernel, random_csr
+from repro.kernels.stream import StreamKernel
+from repro.machine.cache import CacheSim, expand_to_sectors
+from repro.machine.config import CacheConfig
+
+SMALL = CacheConfig(capacity_bytes=64 * 1024)
+
+
+def full_state(sim):
+    """Everything the oracle and the batch path must agree on."""
+    return (
+        sim.traffic.read_bytes,
+        sim.traffic.write_bytes,
+        sim.stats_hits,
+        sim.stats_misses,
+        sim.snapshot(),
+        dict(sim._wcb),
+    )
+
+
+def scalar_replay(sim, addr, size, w, byp):
+    for i in range(len(addr)):
+        sim.access(int(addr[i]), int(size[i]), bool(w[i]),
+                   bypass=bool(byp[i]))
+
+
+# ----------------------------------------------------------------------
+# hypothesis differential property
+# ----------------------------------------------------------------------
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 400_000),        # addr
+        st.integers(1, 200),            # size (spans sectors and lines)
+        st.booleans(),                  # is_write
+        st.booleans(),                  # bypass candidate
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestBatchDifferential:
+    @given(trace=trace_strategy,
+           policy=st.sampled_from(["lru", "fifo"]),
+           chunk=st.integers(7, 101))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_scalar_oracle(self, trace, policy, chunk):
+        addr = np.array([t[0] for t in trace], dtype=np.int64)
+        size = np.array([t[1] for t in trace], dtype=np.int64)
+        w = np.array([t[2] for t in trace], dtype=bool)
+        byp = np.array([t[3] for t in trace], dtype=bool) & w
+
+        oracle = CacheSim(SMALL, policy=policy)
+        scalar_replay(oracle, addr, size, w, byp)
+        batch = CacheSim(SMALL, policy=policy)
+        batch.access_batch(addr, size, w, byp, chunk_size=chunk)
+        assert full_state(batch) == full_state(oracle)
+
+    @given(trace=st.lists(st.tuples(
+        st.integers(-(1 << 30), 1 << 45),
+        st.integers(1, 130), st.booleans(), st.booleans()),
+        min_size=1, max_size=150),
+        policy=st.sampled_from(["lru", "fifo"]))
+    @settings(max_examples=30, deadline=None)
+    def test_generic_path_negative_and_huge_addresses(self, trace, policy):
+        # Outside the residency-bitmap window the batch path falls back
+        # to full exact replay; it must still match the oracle.
+        addr = np.array([t[0] for t in trace], dtype=np.int64)
+        size = np.array([t[1] for t in trace], dtype=np.int64)
+        w = np.array([t[2] for t in trace], dtype=bool)
+        byp = np.array([t[3] for t in trace], dtype=bool) & w
+        oracle = CacheSim(SMALL, policy=policy)
+        scalar_replay(oracle, addr, size, w, byp)
+        batch = CacheSim(SMALL, policy=policy)
+        batch.access_batch(addr, size, w, byp, chunk_size=64)
+        assert full_state(batch) == full_state(oracle)
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           policy=st.sampled_from(["lru", "fifo"]))
+    @settings(max_examples=15, deadline=None)
+    def test_mixed_scalar_batch_interleaving(self, seed, policy):
+        # Alternating scalar and batch phases exercises the residency
+        # bitmap staleness protocol (scalar misses invalidate it).
+        rng = np.random.default_rng(seed)
+        oracle = CacheSim(SMALL, policy=policy)
+        mixed = CacheSim(SMALL, policy=policy)
+        for phase in range(4):
+            n = 300
+            addr = rng.integers(0, 150_000, n)
+            size = rng.integers(1, 64, n)
+            w = rng.random(n) < 0.5
+            byp = np.zeros(n, dtype=bool)
+            scalar_replay(oracle, addr, size, w, byp)
+            if phase % 2 == 0:
+                mixed.access_batch(addr, size, w, chunk_size=97)
+            else:
+                scalar_replay(mixed, addr, size, w, byp)
+            if phase == 2:
+                oracle.flush()
+                mixed.flush()
+        assert full_state(mixed) == full_state(oracle)
+
+    def test_thrashing_cache_forces_evictions(self):
+        # Tiny, low-associativity cache: every chunk evicts, driving
+        # the turbulent full-replay classification.
+        cfg = CacheConfig(capacity_bytes=4 * 1024, associativity=2)
+        rng = np.random.default_rng(3)
+        n = 4000
+        addr = rng.integers(0, 256 * 1024, n)
+        size = rng.integers(1, 129, n)
+        w = rng.random(n) < 0.4
+        byp = np.zeros(n, dtype=bool)
+        for policy in ("lru", "fifo"):
+            oracle = CacheSim(cfg, policy=policy)
+            scalar_replay(oracle, addr, size, w, byp)
+            batch = CacheSim(cfg, policy=policy)
+            batch.access_batch(addr, size, w, chunk_size=256)
+            assert full_state(batch) == full_state(oracle)
+
+    def test_expand_to_sectors_matches_manual_split(self):
+        addr = np.array([0, 60, 127, 128, 1000], dtype=np.int64)
+        size = np.array([8, 8, 2, 64, 200], dtype=np.int64)
+        w = np.array([False, True, False, True, False])
+        c_addr, c_size, c_write, c_byp = expand_to_sectors(
+            addr, size, w, None, 64)
+        assert c_byp is None
+        # Each expanded element stays within one sector.
+        assert np.all(c_addr % 64 + c_size <= 64)
+        assert int(c_size.sum()) == int(size.sum())
+        # Per-access write flags survive the split.
+        starts = np.flatnonzero(np.isin(c_addr, addr))
+        assert c_write[starts[1]]
+
+
+# ----------------------------------------------------------------------
+# sharded engine
+# ----------------------------------------------------------------------
+class TestShardedEngine:
+    def test_sharded_matches_batch_and_is_deterministic(self):
+        kernel = Gemm(24)
+        trace = kernel.exact_trace()
+        ref = ExactEngine(SMALL).run_nest(kernel.streams(), trace)
+        results = []
+        for n_shards in (1, 2, 3, 5):
+            eng = ShardedExactEngine(SMALL, n_shards=n_shards)
+            got = eng.run_nest(kernel.streams(), trace)
+            assert (got.read_bytes, got.write_bytes) == \
+                (ref.read_bytes, ref.write_bytes), n_shards
+            results.append((got.read_bytes, got.write_bytes,
+                            eng.last_stats["hits"],
+                            eng.last_stats["misses"]))
+        assert len(set(results)) == 1  # identical across shard counts
+
+    def test_sharded_with_bypassed_stores(self):
+        # STREAM triad bypasses its stores: the WCB is simulated in
+        # the parent, cached reads in the shards.
+        kernel = StreamKernel(op="triad", n=2048)
+        trace = kernel.exact_trace()
+        ref = ExactEngine(SMALL).run_nest(kernel.streams(), trace)
+        got = ShardedExactEngine(SMALL, n_shards=3).run_nest(
+            kernel.streams(), trace)
+        assert (got.read_bytes, got.write_bytes) == \
+            (ref.read_bytes, ref.write_bytes)
+
+    def test_sharded_rejects_scalar_traces_and_partial_flush(self):
+        kernel = Dot(256)
+        eng = ShardedExactEngine(SMALL, n_shards=2)
+        with pytest.raises(SimulationError):
+            eng.run_nest(kernel.streams(), kernel.exact_accesses())
+        with pytest.raises(SimulationError):
+            eng.run_nest(kernel.streams(), kernel.exact_trace(),
+                         flush_at_end=False)
+
+    def test_shard_count_clamped_to_sets(self):
+        cfg = CacheConfig(capacity_bytes=4 * 1024, associativity=16)
+        eng = ShardedExactEngine(cfg, n_shards=64)
+        assert eng.n_shards <= cfg.n_sets
+
+
+# ----------------------------------------------------------------------
+# vectorized trace emitters == scalar generators
+# ----------------------------------------------------------------------
+BLOCK = LocalBlock(planes=4, rows=6, cols=8)
+
+EMITTER_KERNELS = [
+    Dot(777),
+    Gemm(10),
+    CappedGemv(m=9, n=7, p=3),
+    StreamKernel(op="copy", n=500),
+    StreamKernel(op="scale", n=500),
+    StreamKernel(op="add", n=500),
+    StreamKernel(op="triad", n=500),
+    SpmvKernel(random_csr(40, 5, seed=1)),
+    LoopNest(
+        name="nest-dup-arrays",
+        bounds=(5, 4, 3),
+        accesses=[
+            AffineAccess("A", coeffs=(4, 0, 1)),
+            AffineAccess("A", coeffs=(0, 3, 1), offset=2),
+            AffineAccess("B", coeffs=(0, 1, 4), is_write=True,
+                         elem_bytes=4),
+        ],
+    ),
+    S1CFLoopNest1(BLOCK),
+    S1CFLoopNest2(BLOCK),
+    S1CFCombined(BLOCK),
+    S2CF(BLOCK),
+    S1PF(BLOCK),
+    S1CB(BLOCK),
+    S1PB(BLOCK),
+    S2PF(BLOCK),
+    S2CB(BLOCK),
+    S2PB(BLOCK),
+]
+
+
+class TestExactTraceEmitters:
+    @pytest.mark.parametrize(
+        "kernel", EMITTER_KERNELS, ids=lambda k: k.name)
+    def test_trace_matches_scalar_generator(self, kernel):
+        trace = kernel.exact_trace()
+        ref = list(kernel.exact_accesses())
+        assert len(trace) == len(ref)
+        names = list(trace.streams)
+        for i, acc in enumerate(ref):
+            assert int(trace.addr[i]) == acc.addr, i
+            assert int(trace.size[i]) == acc.size, i
+            assert bool(trace.is_write[i]) == acc.is_write, i
+            assert names[trace.stream_id[i]] == acc.stream, i
+
+    @pytest.mark.parametrize(
+        "kernel", [Gemm(8), StreamKernel(op="triad", n=300)],
+        ids=lambda k: k.name)
+    def test_engine_traffic_identical_scalar_vs_batch(self, kernel):
+        scalar = ExactEngine(SMALL).run_nest(
+            kernel.streams(), kernel.exact_accesses())
+        batch = ExactEngine(SMALL).run_nest(
+            kernel.streams(), kernel.exact_trace())
+        assert (scalar.read_bytes, scalar.write_bytes) == \
+            (batch.read_bytes, batch.write_bytes)
+
+
+# ----------------------------------------------------------------------
+# trace memoization
+# ----------------------------------------------------------------------
+class TestTraceCache:
+    def test_hit_returns_same_object(self):
+        cache = TraceCache()
+        k = Gemm(6)
+        first = cache.get(k)
+        second = cache.get(Gemm(6))  # same shape, fresh instance
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_shapes_distinct_entries(self):
+        cache = TraceCache()
+        assert cache.get(Gemm(6)) is not cache.get(Gemm(7))
+        assert cache.misses == 2
+
+    def test_entry_eviction_lru_order(self):
+        cache = TraceCache(max_entries=2)
+        a = cache.get(Gemm(5))
+        cache.get(Gemm(6))
+        cache.get(Dot(64))  # evicts Gemm(5)
+        assert cache.get(Gemm(5)) is not a
+        assert cache.stats()["entries"] == 2
+
+    def test_byte_budget_and_oversized_traces(self):
+        tiny = TraceCache(max_bytes=1)  # nothing fits
+        k = Dot(128)
+        t1 = tiny.get(k)
+        t2 = tiny.get(k)
+        assert t1 is not t2  # uncached, regenerated
+        assert tiny.stats()["bytes"] == 0
+
+    def test_global_helper(self):
+        trace = cached_exact_trace(Gemm(4))
+        assert isinstance(trace, BatchTrace)
+        assert cached_exact_trace(Gemm(4)) is trace
