@@ -10,11 +10,13 @@ from .analytic import (
     sequential_write,
     strided_access,
 )
-from .exact import ExactEngine
+from .exact import ExactEngine, ShardedExactEngine
 from .executor import ExecutionRecord, Executor
 from .loopnest import AffineAccess, LoopNest
 from .stream import Access, StreamDecl, interleave, resolve_policies
 from .trace import KernelModel
+from .tracecache import TraceCache, cached_exact_trace
+from .tracestore import StoredTrace, TraceStore, kernel_fingerprint
 
 __all__ = [
     "Access",
@@ -25,7 +27,13 @@ __all__ = [
     "ExecutionRecord",
     "Executor",
     "KernelModel",
+    "ShardedExactEngine",
+    "StoredTrace",
     "StreamDecl",
+    "TraceCache",
+    "TraceStore",
+    "cached_exact_trace",
+    "kernel_fingerprint",
     "cache_fit_fraction",
     "combine",
     "interleave",

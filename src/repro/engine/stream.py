@@ -78,6 +78,22 @@ class BatchTrace:
     def __len__(self) -> int:
         return int(self.addr.size)
 
+    @classmethod
+    def trusted(cls, streams: Tuple[str, ...], stream_id: np.ndarray,
+                addr: np.ndarray, size: np.ndarray,
+                is_write: np.ndarray) -> "BatchTrace":
+        """Wrap pre-validated columns without the ``__post_init__``
+        scans (which read every element — prohibitive for mmapped
+        billion-row columns whose invariants the trace store already
+        checked at persist time)."""
+        trace = cls.__new__(cls)
+        trace.streams = streams
+        trace.stream_id = stream_id
+        trace.addr = addr
+        trace.size = size
+        trace.is_write = is_write
+        return trace
+
     @property
     def nbytes(self) -> int:
         return (self.stream_id.nbytes + self.addr.nbytes

@@ -62,6 +62,36 @@ class KernelModel(abc.ABC):
             streams=[s.name for s in self.streams()],
         )
 
+    def exact_trace_blocks(self) -> Iterator[BatchTrace]:
+        """Program-ordered trace as a sequence of column blocks.
+
+        Concatenating the blocks row-wise must equal
+        :meth:`exact_trace` exactly, and every block must carry the
+        same ``streams`` tuple. The disk store persists through this
+        method so billion-access traces never need to materialize in
+        RAM at once; kernels with huge traces override it with a
+        bounded-memory emitter (see ``Gemm``), everything else falls
+        back to one block.
+        """
+        yield self.exact_trace()
+
+    def trace_key(self):
+        """Content identity of this kernel's exact trace.
+
+        Used (hashed) to key trace caches and the on-disk store: two
+        kernels with equal ``(type, trace_key())`` must emit identical
+        traces. The default captures every public instance attribute —
+        shape parameters, seeds, nested dataclasses, arrays — which is
+        correct for all the dataclass-style kernels in this repo;
+        kernels whose trace depends on less than their full state may
+        override it to share entries.
+        """
+        state = getattr(self, "__dict__", None)
+        if state:
+            return {k: v for k, v in state.items()
+                    if not k.startswith("_")}
+        return self.name
+
     # -------------------------------------------------------------- work
     @abc.abstractmethod
     def flops(self) -> float:

@@ -344,14 +344,15 @@ class Gemm(KernelModel):
                     yield Access("B", bb + (k * n + j) * DOUBLE, DOUBLE, False)
                 yield Access("C", bc + (i * n + j) * DOUBLE, DOUBLE, True)
 
-    def exact_trace(self) -> BatchTrace:
+    def _trace_template(self):
+        """Template of one full i = 0 outer iteration ((2n+1)·n
+        accesses). Later outer iterations shift only the A and C
+        addresses (both by i·n·8 bytes, both at even slots of each
+        j-block); B repeats unchanged, so only one add per outer
+        iteration is needed."""
         n = self.n
         nbytes = n * n * DOUBLE
         ba, bb, bc = _layout(nbytes, nbytes, nbytes)
-        # Template: the full i = 0 outer iteration ((2n+1)·n accesses).
-        # Later outer iterations shift only the A and C addresses (both
-        # by i·n·8 bytes, both at even slots of each j-block); B repeats
-        # unchanged, so only one add per outer iteration is needed.
         per_j = 2 * n + 1
         block = per_j * n
         k_idx = np.arange(n, dtype=np.int64)
@@ -371,18 +372,41 @@ class Gemm(KernelModel):
         ac_slots = np.zeros(per_j, np.int64)
         ac_slots[0::2] = 1  # A at even k-slots, C at slot 2n (also even)
         ac_block = np.tile(ac_slots, n)
-        addr = np.empty(block * n, np.int64)
-        for i in range(n):
-            np.multiply(ac_block, i * n * DOUBLE,
-                        out=addr[i * block:(i + 1) * block])
-            addr[i * block:(i + 1) * block] += tmpl
+        return tmpl, jb_sid, jb_w, ac_block, block
+
+    def _outer_range_trace(self, i0: int, i1: int, tmpl, jb_sid, jb_w,
+                           ac_block, block) -> BatchTrace:
+        """Columns of outer iterations ``i0 <= i < i1``."""
+        n = self.n
+        addr = np.empty(block * (i1 - i0), np.int64)
+        for i in range(i0, i1):
+            out = addr[(i - i0) * block:(i - i0 + 1) * block]
+            np.multiply(ac_block, i * n * DOUBLE, out=out)
+            out += tmpl
+        reps = n * (i1 - i0)
         return BatchTrace(
             streams=("A", "B", "C"),
-            stream_id=np.tile(jb_sid, n * n),
+            stream_id=np.tile(jb_sid, reps),
             addr=addr,
             size=np.full(addr.size, DOUBLE, np.int32),
-            is_write=np.tile(jb_w, n * n),
+            is_write=np.tile(jb_w, reps),
         )
+
+    def exact_trace(self) -> BatchTrace:
+        return self._outer_range_trace(0, self.n, *self._trace_template())
+
+    def exact_trace_blocks(self, target_rows: int = 1 << 21):
+        """Bounded-memory emitter: blocks of whole outer iterations,
+        ~``target_rows`` rows each, concatenating byte-identically to
+        :meth:`exact_trace`. A Gemm N=512 trace (~4 GB of columns)
+        persists to the disk store through this without ever
+        materializing in RAM."""
+        parts = self._trace_template()
+        block = parts[-1]
+        iters = max(1, target_rows // block)
+        for i0 in range(0, self.n, iters):
+            yield self._outer_range_trace(
+                i0, min(i0 + iters, self.n), *parts)
 
     # work ---------------------------------------------------------------
     def flops(self) -> float:

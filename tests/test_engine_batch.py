@@ -275,6 +275,70 @@ class TestExactTraceEmitters:
 
 
 # ----------------------------------------------------------------------
+# streamed-from-disk == in-RAM batch == scalar oracle
+# ----------------------------------------------------------------------
+#: One representative per kernel family (DESIGN.md §6.2): the chunked
+#: disk-streaming path must agree with the in-RAM batch engine and the
+#: scalar oracle on every emitter shape, including bypassed stores.
+STORE_KERNELS = [
+    Dot(777),
+    Gemm(10),
+    CappedGemv(m=9, n=7, p=3),
+    StreamKernel(op="triad", n=500),
+    SpmvKernel(random_csr(40, 5, seed=1)),
+    LoopNest(
+        name="nest-dup-arrays",
+        bounds=(5, 4, 3),
+        accesses=[
+            AffineAccess("A", coeffs=(4, 0, 1)),
+            AffineAccess("A", coeffs=(0, 3, 1), offset=2),
+            AffineAccess("B", coeffs=(0, 1, 4), is_write=True,
+                         elem_bytes=4),
+        ],
+    ),
+    S2CF(BLOCK),
+]
+
+
+class TestStoredTraceDifferential:
+    @pytest.mark.parametrize(
+        "kernel", STORE_KERNELS, ids=lambda k: k.name)
+    def test_streamed_from_disk_matches_oracle(self, kernel, tmp_path):
+        from repro.engine.tracestore import TraceStore
+
+        store = TraceStore(tmp_path / "store", verify="full")
+        entry = store.get_or_create(kernel)
+
+        scalar = ExactEngine(SMALL).run_nest(
+            kernel.streams(), kernel.exact_accesses())
+        batch = ExactEngine(SMALL).run_nest(
+            kernel.streams(), kernel.exact_trace())
+        # Tiny chunk_rows forces many chunks even on small traces.
+        streamed = ExactEngine(SMALL).run_nest(
+            kernel.streams(), entry, chunk_rows=257)
+        entry.close()
+        assert (streamed.read_bytes, streamed.write_bytes) == \
+            (batch.read_bytes, batch.write_bytes) == \
+            (scalar.read_bytes, scalar.write_bytes)
+
+    @pytest.mark.parametrize(
+        "kernel", [Gemm(10), StreamKernel(op="triad", n=500)],
+        ids=lambda k: k.name)
+    def test_sharded_from_disk_matches_batch(self, kernel, tmp_path):
+        from repro.engine.tracestore import TraceStore
+
+        store = TraceStore(tmp_path / "store", verify="full")
+        entry = store.get_or_create(kernel)
+        ref = ExactEngine(SMALL).run_nest(
+            kernel.streams(), kernel.exact_trace())
+        got = ShardedExactEngine(SMALL, n_shards=3).run_nest(
+            kernel.streams(), entry, chunk_rows=509)
+        entry.close()
+        assert (got.read_bytes, got.write_bytes) == \
+            (ref.read_bytes, ref.write_bytes)
+
+
+# ----------------------------------------------------------------------
 # trace memoization
 # ----------------------------------------------------------------------
 class TestTraceCache:
