@@ -13,6 +13,9 @@ object that tunes the gate. Comparison rules:
   ``_dev``/``_err``/``_gap``/``_excess``) are one-sided: they may
   improve freely but may not *worsen* beyond
   ``metric_abs + metric_rel * |baseline|``;
+* metrics prefixed ``info_`` are machine-dependent observability
+  readings (worker utilization, queue depths, ...): recorded in the
+  report, never gated, and allowed to appear or disappear freely;
 * every other metric is a determinism check: it must stay within the
   same tolerance of the frozen value in either direction;
 * peak RSS is reported but gates only when ``rss_rel`` is set.
@@ -28,6 +31,10 @@ from typing import Dict, List, Optional
 
 #: Metric-name suffixes treated as "lower is better" deviations.
 DEVIATION_SUFFIXES = ("_dev", "_err", "_gap", "_excess")
+
+#: Metric-name prefix for machine-dependent observability readings
+#: (utilization, queue depths): reported, never gated.
+INFO_PREFIX = "info_"
 
 #: Ignore wall regressions below this many seconds of slack — a
 #: microbenchmark doubling from 20 ms to 40 ms is scheduler noise,
@@ -104,6 +111,10 @@ def _wall_scale(current: Dict, baseline: Dict) -> float:
 
 def is_deviation_metric(name: str) -> bool:
     return name.endswith(DEVIATION_SUFFIXES)
+
+
+def is_info_metric(name: str) -> bool:
+    return name.startswith(INFO_PREFIX)
 
 
 def compare_reports(
@@ -216,6 +227,8 @@ def _compare_metrics(name, cur, base, thresholds):
     regressions = []
     cur_metrics = cur.get("metrics") or {}
     for key, base_val in sorted((base.get("metrics") or {}).items()):
+        if is_info_metric(key):
+            continue
         if key not in cur_metrics:
             regressions.append(
                 Regression(

@@ -243,6 +243,148 @@ def _run_trace_store(argv: List[str]) -> int:
     return 2
 
 
+def build_pipeline_parser() -> argparse.ArgumentParser:
+    from .engine.envconfig import (
+        N_SHARDS_ENV,
+        RING_DEPTH_ENV,
+        SEGMENT_ROWS_ENV,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments pipeline",
+        description="Run a kernel through the segment-pipelined exact "
+                    "engine: trace generation overlaps sharded cache "
+                    "simulation in a persistent worker pool.",
+    )
+    parser.add_argument("--kernel", default="gemm",
+                        choices=["gemm", "dot", "spmv", "stream-copy",
+                                 "stream-scale", "stream-add",
+                                 "stream-triad"],
+                        help="kernel family to run (default: gemm)")
+    parser.add_argument("--size", type=int, default=256,
+                        help="problem size: matrix order for gemm/spmv, "
+                             "vector length for dot/stream-* "
+                             "(default: 256)")
+    parser.add_argument("--cache-mib", type=float, default=4.0,
+                        help="simulated cache capacity in MiB "
+                             "(default: 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation worker processes; 0 = inline "
+                             f"(default: cpu count - 1, or "
+                             f"${N_SHARDS_ENV})")
+    parser.add_argument("--segment-rows", type=int, default=None,
+                        help="rows per streamed trace segment "
+                             f"(default: ${SEGMENT_ROWS_ENV} or 2^20)")
+    parser.add_argument("--ring-depth", type=int, default=None,
+                        help="segment slots in the shared ring "
+                             f"(default: ${RING_DEPTH_ENV} or 4)")
+    parser.add_argument("--compare-sequential", action="store_true",
+                        help="also run the sequential generate-then-"
+                             "simulate path (ShardedExactEngine) and "
+                             "report the speedup and traffic match")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for --compare-sequential's "
+                             "ShardedExactEngine (default: engine "
+                             "default)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    return parser
+
+
+def _pipeline_kernel(name: str, size: int):
+    from .kernels import Dot, Gemm, SpmvKernel, StreamKernel, random_csr
+
+    if name == "gemm":
+        return Gemm(size)
+    if name == "dot":
+        return Dot(size)
+    if name == "spmv":
+        return SpmvKernel(random_csr(size, 8, seed=1))
+    return StreamKernel(name[len("stream-"):], size)
+
+
+def _run_pipeline_cmd(argv: List[str]) -> int:
+    import time as _time
+
+    from .engine.envconfig import env_n_shards
+    from .engine.exact import ShardedExactEngine
+    from .engine.pipeline import PipelinedExactEngine
+    from .machine.config import CacheConfig
+    from .units import MIB
+
+    args = build_pipeline_parser().parse_args(argv)
+    kernel = _pipeline_kernel(args.kernel, args.size)
+    cache = CacheConfig(capacity_bytes=int(args.cache_mib * MIB))
+    workers = args.workers
+    if workers is None:
+        workers = env_n_shards()
+
+    t0 = _time.perf_counter()
+    with PipelinedExactEngine(cache, n_workers=workers,
+                              segment_rows=args.segment_rows,
+                              ring_depth=args.ring_depth) as engine:
+        traffic = engine.run_kernel(kernel)
+    wall = _time.perf_counter() - t0
+    stats = dict(engine.last_pipeline_stats)
+
+    report = {
+        "kernel": kernel.name,
+        "read_bytes": traffic.read_bytes,
+        "write_bytes": traffic.write_bytes,
+        "hits": engine.last_stats["hits"],
+        "misses": engine.last_stats["misses"],
+        "wall_s": round(wall, 3),
+        "pipeline": stats,
+    }
+    if args.compare_sequential:
+        t0 = _time.perf_counter()
+        trace = kernel.exact_trace()
+        t_gen = _time.perf_counter() - t0
+        seq = ShardedExactEngine(cache, n_shards=args.shards)
+        t0 = _time.perf_counter()
+        seq_traffic = seq.run_nest(kernel.streams(), trace)
+        t_sim = _time.perf_counter() - t0
+        report["sequential"] = {
+            "n_shards": seq.n_shards,
+            "generate_s": round(t_gen, 3),
+            "simulate_s": round(t_sim, 3),
+            "wall_s": round(t_gen + t_sim, 3),
+            "read_bytes": seq_traffic.read_bytes,
+            "write_bytes": seq_traffic.write_bytes,
+        }
+        report["speedup"] = round((t_gen + t_sim) / wall, 2) if wall else 0.0
+        report["traffic_match"] = (
+            traffic.read_bytes == seq_traffic.read_bytes
+            and traffic.write_bytes == seq_traffic.write_bytes)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"[pipeline] {kernel.name}: "
+              f"read {traffic.read_bytes:,} B, "
+              f"write {traffic.write_bytes:,} B, "
+              f"{report['hits']:,} hits / {report['misses']:,} misses "
+              f"in {wall:.3f}s")
+        print(f"  mode={stats['mode']} workers={stats['n_workers']} "
+              f"segment_rows={stats['segment_rows']} "
+              f"ring_depth={stats['ring_depth']}")
+        print(f"  {stats['segments']} segments, {stats['rows']:,} rows "
+              f"({stats['expanded_rows']:,} expanded), "
+              f"utilization {stats['utilization']:.2f}, "
+              f"queue depth mean {stats['mean_queue_depth']:.2f} "
+              f"max {stats['max_queue_depth']}")
+        if args.compare_sequential:
+            seq_info = report["sequential"]
+            match = "exact" if report["traffic_match"] else "MISMATCH"
+            print(f"  sequential (gen {seq_info['generate_s']}s + "
+                  f"{seq_info['n_shards']}-shard sim "
+                  f"{seq_info['simulate_s']}s) = "
+                  f"{seq_info['wall_s']}s -> "
+                  f"speedup {report['speedup']}x, traffic {match}")
+    if args.compare_sequential and not report["traffic_match"]:
+        return 1
+    return 0
+
+
 def _default_bench_dir():
     from pathlib import Path
 
@@ -374,6 +516,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "trace-store" in argv:
         split = argv.index("trace-store")
         return _run_trace_store(argv[:split] + argv[split + 1:])
+    if "pipeline" in argv:
+        split = argv.index("pipeline")
+        return _run_pipeline_cmd(argv[:split] + argv[split + 1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():
@@ -385,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               "baselines (bench --help)")
         print("trace-store On-disk columnar trace store maintenance "
               "(trace-store --help)")
+        print("pipeline    Segment-pipelined exact engine runner "
+              "(pipeline --help)")
         return 0
     if args.experiment == "pcp-stress":
         return _run_pcp_stress(args)

@@ -10,9 +10,15 @@ from .analytic import (
     sequential_write,
     strided_access,
 )
+from .envconfig import (
+    default_chunk_rows,
+    default_segment_rows,
+    env_n_shards,
+)
 from .exact import ExactEngine, ShardedExactEngine
 from .executor import ExecutionRecord, Executor
 from .loopnest import AffineAccess, LoopNest
+from .pipeline import PipelinedExactEngine
 from .stream import Access, StreamDecl, interleave, resolve_policies
 from .trace import KernelModel
 from .tracecache import TraceCache, cached_exact_trace
@@ -27,12 +33,16 @@ __all__ = [
     "ExecutionRecord",
     "Executor",
     "KernelModel",
+    "PipelinedExactEngine",
     "ShardedExactEngine",
     "StoredTrace",
     "StreamDecl",
     "TraceCache",
     "TraceStore",
     "cached_exact_trace",
+    "default_chunk_rows",
+    "default_segment_rows",
+    "env_n_shards",
     "kernel_fingerprint",
     "cache_fit_fraction",
     "combine",

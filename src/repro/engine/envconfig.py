@@ -1,0 +1,90 @@
+"""Environment-variable knobs for the exact engines.
+
+The streaming engines have three sizing knobs that used to be module
+constants: the disk-store chunk size (rows per ``iter_chunks`` slice),
+the segment size of the pipelined engine (rows per producer block),
+and the shard count of :class:`~repro.engine.exact.ShardedExactEngine`.
+All three are now configurable per process via environment variables —
+``REPRO_CHUNK_ROWS``, ``REPRO_SEGMENT_ROWS``, ``REPRO_N_SHARDS`` (plus
+``REPRO_RING_DEPTH`` for the pipeline ring) — validated *at parse
+time* with a :class:`~repro.errors.SimulationError` naming the
+offending variable, so a typo'd override fails the run immediately
+instead of producing a confusing downstream numpy error.
+
+None of these knobs may change simulation *results*: chunk/segment
+boundaries are invisible to the cache model (tested), and the shard
+count only partitions work. They trade RSS and parallelism against
+overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import SimulationError
+
+#: Rows per mmapped slice when streaming a stored trace from disk.
+CHUNK_ROWS_ENV = "REPRO_CHUNK_ROWS"
+#: Rows per trace segment emitted by ``KernelModel.segments()``.
+SEGMENT_ROWS_ENV = "REPRO_SEGMENT_ROWS"
+#: Default shard count for ``ShardedExactEngine`` (lifts the old
+#: ``min(8, cpu_count)`` cap; still clamped to ``cache.n_sets``).
+N_SHARDS_ENV = "REPRO_N_SHARDS"
+#: Slots in the pipelined engine's shared-memory segment ring.
+RING_DEPTH_ENV = "REPRO_RING_DEPTH"
+
+DEFAULT_CHUNK_ROWS = 1 << 19
+DEFAULT_SEGMENT_ROWS = 1 << 20
+DEFAULT_RING_DEPTH = 4
+
+
+def positive_int(value, name: str) -> int:
+    """Validate ``value`` as a positive integer; clear error otherwise."""
+    try:
+        parsed = int(value)
+    except (TypeError, ValueError):
+        raise SimulationError(
+            f"{name} must be a positive integer, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise SimulationError(
+            f"{name} must be a positive integer, got {value!r}")
+    return parsed
+
+
+def _env_positive_int(env: str, default: int) -> int:
+    raw = os.environ.get(env)
+    if raw is None or raw == "":
+        return default
+    return positive_int(raw, f"environment variable {env}")
+
+
+def default_chunk_rows() -> int:
+    """Rows per disk-store chunk (``REPRO_CHUNK_ROWS`` or built-in)."""
+    return _env_positive_int(CHUNK_ROWS_ENV, DEFAULT_CHUNK_ROWS)
+
+
+def default_segment_rows() -> int:
+    """Rows per trace segment (``REPRO_SEGMENT_ROWS`` or built-in)."""
+    return _env_positive_int(SEGMENT_ROWS_ENV, DEFAULT_SEGMENT_ROWS)
+
+
+def resolve_segment_rows(target_rows: Optional[int]) -> int:
+    """Explicit segment size, or the env/built-in default when None."""
+    if target_rows is None:
+        return default_segment_rows()
+    return positive_int(target_rows, "target_rows")
+
+
+def default_ring_depth() -> int:
+    """Segment-ring slots (``REPRO_RING_DEPTH`` or built-in)."""
+    return _env_positive_int(RING_DEPTH_ENV, DEFAULT_RING_DEPTH)
+
+
+def env_n_shards() -> Optional[int]:
+    """Shard-count override from ``REPRO_N_SHARDS`` (None when unset)."""
+    raw = os.environ.get(N_SHARDS_ENV)
+    if raw is None or raw == "":
+        return None
+    return positive_int(raw, f"environment variable {N_SHARDS_ENV}")

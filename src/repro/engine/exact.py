@@ -49,8 +49,9 @@ from ..machine.cache import CacheSim, TrafficCounters, expand_to_sectors
 from ..machine.config import CacheConfig
 from ..machine.prefetch import SoftwarePrefetch
 from ..machine.store import StorePolicy
+from .envconfig import default_chunk_rows, env_n_shards, positive_int
 from .stream import BatchTrace, StreamDecl, TraceLike, resolve_policies
-from .tracestore import DEFAULT_CHUNK_ROWS, StoredTrace
+from .tracestore import StoredTrace
 
 #: What the engines accept as a trace, disk tier included.
 AnyTrace = Union[TraceLike, StoredTrace]
@@ -98,17 +99,20 @@ class ExactEngine:
                  accesses: AnyTrace,
                  prefetch: SoftwarePrefetch = SoftwarePrefetch(),
                  flush_at_end: bool = True,
-                 chunk_rows: int = DEFAULT_CHUNK_ROWS) -> TrafficCounters:
+                 chunk_rows: Optional[int] = None) -> TrafficCounters:
         """Execute one loop nest and return its memory traffic.
 
         ``flush_at_end`` drains dirty data so that deferred write-backs
         are charged to the nest that produced them (the nest counters on
         real hardware eventually see those bytes; the analytic laws
         charge them immediately). A :class:`StoredTrace` is streamed in
-        ``chunk_rows``-row slices — simulator state carries across
-        ``access_batch`` calls, so the traffic is bit-identical to the
-        in-RAM batch path while peak RSS stays bounded by a few chunks.
+        ``chunk_rows``-row slices (default: ``REPRO_CHUNK_ROWS`` or the
+        built-in) — simulator state carries across ``access_batch``
+        calls, so the traffic is bit-identical to the in-RAM batch path
+        while peak RSS stays bounded by a few chunks.
         """
+        chunk_rows = (default_chunk_rows() if chunk_rows is None
+                      else positive_int(chunk_rows, "chunk_rows"))
         bypass = _resolve_bypass(streams, prefetch)
         before = (self.sim.traffic.read_bytes, self.sim.traffic.write_bytes)
         if isinstance(accesses, StoredTrace):
@@ -278,8 +282,16 @@ class ShardedExactEngine:
         self.cache_config = cache
         self.policy = policy
         if n_shards is None:
-            n_shards = max(1, min(8, os.cpu_count() or 1))
-        self.n_shards = max(1, min(n_shards, cache.n_sets))
+            # Explicit constructor value wins, then REPRO_N_SHARDS,
+            # then one shard per core (capped at 8 — the point of
+            # diminishing returns for per-shard pool overhead; the env
+            # var and constructor lift that cap).
+            n_shards = env_n_shards()
+            if n_shards is None:
+                n_shards = max(1, min(8, os.cpu_count() or 1))
+        else:
+            positive_int(n_shards, "n_shards")
+        self.n_shards = max(1, min(int(n_shards), cache.n_sets))
         # The write-combining buffer lives in the parent simulator.
         self.sim = CacheSim(cache, policy=policy)
         self.last_stats: Optional[Dict[str, int]] = None
@@ -297,8 +309,10 @@ class ShardedExactEngine:
                  accesses: AnyTrace,
                  prefetch: SoftwarePrefetch = SoftwarePrefetch(),
                  flush_at_end: bool = True,
-                 chunk_rows: int = DEFAULT_CHUNK_ROWS) -> TrafficCounters:
+                 chunk_rows: Optional[int] = None) -> TrafficCounters:
         """Execute one loop nest sharded across worker processes."""
+        chunk_rows = (default_chunk_rows() if chunk_rows is None
+                      else positive_int(chunk_rows, "chunk_rows"))
         if not isinstance(accesses, (BatchTrace, StoredTrace)):
             raise SimulationError(
                 "ShardedExactEngine requires a BatchTrace or StoredTrace; "

@@ -51,6 +51,7 @@ from ..machine.prefetch import SoftwarePrefetch
 from ..machine.store import StorePolicy
 from ..units import ceil_div, round_up
 from .analytic import CacheContext, cache_fit_fraction
+from .envconfig import resolve_segment_rows
 from .stream import Access, BatchTrace, StreamDecl, resolve_policies
 from .trace import KernelModel
 
@@ -173,11 +174,12 @@ class LoopNest(KernelModel):
                     acc.is_write,
                 )
 
-    def exact_trace(self) -> BatchTrace:
-        """Vectorized trace: per-level index grids over the flattened
-        iteration space, one interleaved site stream per access."""
+    def _range_trace(self, t0: int, t1: int) -> BatchTrace:
+        """Vectorized trace of flattened iterations ``t0 <= t < t1``:
+        per-level index grids, one interleaved site stream per
+        access."""
         total = self.n_iterations
-        flat = np.arange(total, dtype=np.int64)
+        flat = np.arange(t0, t1, dtype=np.int64)
         idx_grids = []
         period = total
         for bound in self.bounds:
@@ -185,13 +187,26 @@ class LoopNest(KernelModel):
             idx_grids.append((flat // period) % bound)
         sites = []
         for acc in self.accesses:
-            elem = np.full(total, acc.offset, dtype=np.int64)
+            elem = np.full(flat.size, acc.offset, dtype=np.int64)
             for coeff, grid in zip(acc.coeffs, idx_grids):
                 if coeff:
                     elem += coeff * grid
             addr = self._bases[acc.array] + elem * acc.elem_bytes
             sites.append((acc.array, addr, acc.elem_bytes, acc.is_write))
         return BatchTrace.interleaved(sites)
+
+    def exact_trace(self) -> BatchTrace:
+        return self._range_trace(0, self.n_iterations)
+
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded emitter over whole loop-body iterations (one row
+        per access site per iteration)."""
+        target_rows = resolve_segment_rows(target_rows)
+        per_iter = len(self.accesses)
+        step = max(1, target_rows // per_iter)
+        total = self.n_iterations
+        for t0 in range(0, total, step):
+            yield self._range_trace(t0, min(t0 + step, total))
 
     # ------------------------------------------------------------------
     # the generic traffic law

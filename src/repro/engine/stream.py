@@ -158,6 +158,35 @@ class BatchTrace:
             yield Access(names[self.stream_id[i]], int(self.addr[i]),
                          int(self.size[i]), bool(self.is_write[i]))
 
+    def rows(self, start: int, stop: int) -> "BatchTrace":
+        """Row-slice ``[start, stop)`` sharing the column memory.
+
+        The slice keeps the full ``streams`` tuple so segment
+        boundaries never change stream-id meaning; validation is
+        skipped because the parent's columns already passed it.
+        """
+        return BatchTrace.trusted(
+            self.streams,
+            self.stream_id[start:stop],
+            self.addr[start:stop],
+            self.size[start:stop],
+            self.is_write[start:stop],
+        )
+
+
+def iter_row_slices(trace: "BatchTrace",
+                    target_rows: int) -> Iterator["BatchTrace"]:
+    """Split a materialized trace into row-slices of ``target_rows``.
+
+    Concatenating the slices equals ``trace`` exactly; the slices are
+    views, not copies. Used by the default ``KernelModel.segments()``.
+    """
+    if target_rows <= 0:
+        raise ConfigurationError("target_rows must be positive")
+    n = len(trace)
+    for start in range(0, n, target_rows):
+        yield trace.rows(start, min(start + target_rows, n))
+
 
 #: What the exact engine accepts as a trace.
 TraceLike = Union[BatchTrace, Iterable[Access]]

@@ -18,7 +18,8 @@ from typing import Iterator, List, Optional
 from ..machine.cache import TrafficCounters
 from ..machine.prefetch import SoftwarePrefetch
 from .analytic import CacheContext
-from .stream import Access, BatchTrace, StreamDecl
+from .envconfig import resolve_segment_rows
+from .stream import Access, BatchTrace, StreamDecl, iter_row_slices
 
 
 class KernelModel(abc.ABC):
@@ -62,18 +63,33 @@ class KernelModel(abc.ABC):
             streams=[s.name for s in self.streams()],
         )
 
-    def exact_trace_blocks(self) -> Iterator[BatchTrace]:
-        """Program-ordered trace as a sequence of column blocks.
+    def segments(self, target_rows: Optional[int] = None
+                 ) -> Iterator[BatchTrace]:
+        """Program-ordered trace as bounded-memory column segments.
 
-        Concatenating the blocks row-wise must equal
-        :meth:`exact_trace` exactly, and every block must carry the
-        same ``streams`` tuple. The disk store persists through this
-        method so billion-access traces never need to materialize in
-        RAM at once; kernels with huge traces override it with a
-        bounded-memory emitter (see ``Gemm``), everything else falls
-        back to one block.
+        The streaming contract every kernel family implements:
+        concatenating the segments row-wise must equal
+        :meth:`exact_trace` exactly (same rows, same bytes), every
+        segment carries the same ``streams`` tuple, and each segment
+        is at most ~``target_rows`` rows (kernels may round to a
+        natural emission unit, e.g. whole GEMM outer iterations).
+        The pipelined engine and the disk store consume traces through
+        this method so billion-access traces never materialize in RAM
+        at once.
+
+        ``target_rows`` defaults to ``REPRO_SEGMENT_ROWS`` (or the
+        built-in 1 Mi rows). The default implementation slices the
+        materialized :meth:`exact_trace`; kernel families with huge
+        traces override it with a true bounded-memory emitter.
         """
-        yield self.exact_trace()
+        target_rows = resolve_segment_rows(target_rows)
+        yield from iter_row_slices(self.exact_trace(), target_rows)
+
+    def exact_trace_blocks(self) -> Iterator[BatchTrace]:
+        """Back-compat alias of :meth:`segments` (the protocol it grew
+        into): program-ordered trace as a sequence of column blocks,
+        concatenating byte-identically to :meth:`exact_trace`."""
+        yield from self.segments()
 
     def trace_key(self):
         """Content identity of this kernel's exact trace.

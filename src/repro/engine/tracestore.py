@@ -58,13 +58,20 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import TraceCorruptionError, TraceStoreError
+from .envconfig import (
+    CHUNK_ROWS_ENV,
+    DEFAULT_CHUNK_ROWS,
+    default_chunk_rows,
+)
 from .stream import BatchTrace
 from .trace import KernelModel
 
-#: Version of the kernel trace emitters. Bump on any change to an
-#: ``exact_trace``/``exact_trace_blocks`` implementation: the
-#: fingerprint includes it, so stale entries become unreachable (and
-#: collectable by ``gc``) instead of silently wrong.
+#: Version of the kernel trace emitters. Bump on any change to the
+#: *bytes* an ``exact_trace``/``segments`` implementation produces:
+#: the fingerprint includes it, so stale entries become unreachable
+#: (and collectable by ``gc``) instead of silently wrong. Segment
+#: boundary changes alone do not require a bump — checksums stream
+#: over the concatenated columns.
 EMITTER_VERSION = 1
 
 #: On-disk layout version (manifest schema + column encoding).
@@ -80,8 +87,10 @@ TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 #: ("full" = structure + checksums, "meta" = structure only).
 TRACE_VERIFY_ENV = "REPRO_TRACE_VERIFY"
 
-#: Default number of rows per streamed chunk (~4 MB of addr column).
-DEFAULT_CHUNK_ROWS = 1 << 19
+# The default rows per streamed chunk (~4 MB of addr column) lives in
+# envconfig (DEFAULT_CHUNK_ROWS, overridable via REPRO_CHUNK_ROWS) and
+# is re-exported here for backwards compatibility.
+_ = (CHUNK_ROWS_ENV, DEFAULT_CHUNK_ROWS)
 
 #: The four columns of a BatchTrace, in manifest order.
 COLUMN_DTYPES = (
@@ -283,16 +292,19 @@ class StoredTrace:
                                   addr=cols[0], size=cols[1],
                                   is_write=cols[3])
 
-    def iter_chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    def iter_chunks(self, chunk_rows: Optional[int] = None,
                     ) -> Iterator[BatchTrace]:
-        """Stream the trace as row-slices of ``chunk_rows`` rows.
+        """Stream the trace as row-slices of ``chunk_rows`` rows
+        (default: ``REPRO_CHUNK_ROWS`` or :data:`DEFAULT_CHUNK_ROWS`).
 
         Chunks are views into the read-only maps; consumed pages are
         released with ``madvise(DONTNEED)`` so resident set size stays
         bounded by a few chunks however large the trace is. A chunk is
         only valid until the next iteration step.
         """
-        if chunk_rows <= 0:
+        if chunk_rows is None:
+            chunk_rows = default_chunk_rows()
+        elif chunk_rows <= 0:
             raise TraceStoreError("chunk_rows must be positive")
         maps = self._mapped()
         cols = [arr for arr, _ in maps]
@@ -312,6 +324,13 @@ class StoredTrace:
                 done = (stop * dtype.itemsize) // page * page
                 if done:
                     mm.madvise(mmap.MADV_DONTNEED, 0, done)
+
+    def segments(self, target_rows: Optional[int] = None,
+                 ) -> Iterator[BatchTrace]:
+        """Bounded-memory segment emitter (the :class:`KernelModel`
+        ``segments`` protocol): stored traces duck-type as segment
+        sources for the pipelined engine."""
+        return self.iter_chunks(target_rows)
 
     def close(self) -> None:
         """Drop the column maps (best effort: a map with live NumPy
@@ -539,7 +558,7 @@ class TraceStore:
             entry = None
         if entry is not None:
             return entry
-        return self.put(kernel, kernel.exact_trace_blocks())
+        return self.put(kernel, kernel.segments())
 
     # -- maintenance ----------------------------------------------------
     def entries(self) -> List[EntryInfo]:

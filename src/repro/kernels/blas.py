@@ -35,6 +35,7 @@ from ..engine.analytic import (
     sequential_read,
     sequential_write,
 )
+from ..engine.envconfig import resolve_segment_rows
 from ..engine.stream import (
     Access,
     BatchTrace,
@@ -111,14 +112,24 @@ class Dot(KernelModel):
             yield Access("x", bx + i * DOUBLE, DOUBLE, False)
             yield Access("y", by + i * DOUBLE, DOUBLE, False)
 
-    def exact_trace(self) -> BatchTrace:
+    def _range_trace(self, i0: int, i1: int) -> BatchTrace:
         nbytes = self.n * DOUBLE
         bx, by = _layout(nbytes, nbytes)
-        idx = np.arange(self.n, dtype=np.int64) * DOUBLE
+        idx = np.arange(i0, i1, dtype=np.int64) * DOUBLE
         return BatchTrace.interleaved([
             ("x", bx + idx, DOUBLE, False),
             ("y", by + idx, DOUBLE, False),
         ])
+
+    def exact_trace(self) -> BatchTrace:
+        return self._range_trace(0, self.n)
+
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded emitter over iteration ranges (2 rows per i)."""
+        target_rows = resolve_segment_rows(target_rows)
+        step = max(1, target_rows // 2)
+        for i0 in range(0, self.n, step):
+            yield self._range_trace(i0, min(i0 + step, self.n))
 
     def flops(self) -> float:
         return 2.0 * self.n
@@ -214,14 +225,15 @@ class CappedGemv(KernelModel):
                 yield Access("x", bx + k * DOUBLE, DOUBLE, False)
             yield Access("y", by + i * DOUBLE, DOUBLE, True)
 
-    def exact_trace(self) -> BatchTrace:
-        m, n, p = self.m, self.n, self.p
+    def _trace_template(self):
+        """Template of one row of i = 0 (2n interleaved A/x loads then
+        the y store); later rows shift only A (by ``(i % p)·n·8``) and
+        y (by ``i·8``) at their slots."""
+        n, p = self.n, self.p
         a_bytes = p * n * DOUBLE
         x_bytes = n * DOUBLE
-        y_bytes = m * DOUBLE
+        y_bytes = self.m * DOUBLE
         ba, bx, by = _layout(a_bytes, x_bytes, y_bytes)
-        # One row of i = 0 as a template (2n interleaved A/x loads then
-        # the y store), tiled m times with per-row offsets on A and y.
         per_row = 2 * n + 1
         k_idx = np.arange(n, dtype=np.int64)
         tmpl_addr = np.empty(per_row, np.int64)
@@ -238,18 +250,38 @@ class CappedGemv(KernelModel):
         a_slots[0:2 * n:2] = 1
         y_slots = np.zeros(per_row, np.int64)
         y_slots[2 * n] = 1
-        rows = np.arange(m, dtype=np.int64)
-        addr = np.tile(tmpl_addr, m)
+        return tmpl_addr, tmpl_sid, tmpl_w, a_slots, y_slots, per_row
+
+    def _row_range_trace(self, i0: int, i1: int, tmpl_addr, tmpl_sid,
+                         tmpl_w, a_slots, y_slots,
+                         per_row) -> BatchTrace:
+        """Columns of output rows ``i0 <= i < i1`` (tiled template)."""
+        n, p = self.n, self.p
+        cnt = i1 - i0
+        rows = np.arange(i0, i1, dtype=np.int64)
+        addr = np.tile(tmpl_addr, cnt)
         addr += np.repeat((rows % p) * (n * DOUBLE), per_row) \
-            * np.tile(a_slots, m)
-        addr += np.repeat(rows * DOUBLE, per_row) * np.tile(y_slots, m)
+            * np.tile(a_slots, cnt)
+        addr += np.repeat(rows * DOUBLE, per_row) * np.tile(y_slots, cnt)
         return BatchTrace(
             streams=("A", "x", "y"),
-            stream_id=np.tile(tmpl_sid, m),
+            stream_id=np.tile(tmpl_sid, cnt),
             addr=addr,
             size=np.full(addr.size, DOUBLE, np.int32),
-            is_write=np.tile(tmpl_w, m),
+            is_write=np.tile(tmpl_w, cnt),
         )
+
+    def exact_trace(self) -> BatchTrace:
+        return self._row_range_trace(0, self.m, *self._trace_template())
+
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded emitter over whole output rows (2n+1 rows each)."""
+        target_rows = resolve_segment_rows(target_rows)
+        parts = self._trace_template()
+        step = max(1, target_rows // parts[-1])
+        for i0 in range(0, self.m, step):
+            yield self._row_range_trace(
+                i0, min(i0 + step, self.m), *parts)
 
     # work ---------------------------------------------------------------
     def flops(self) -> float:
@@ -395,12 +427,12 @@ class Gemm(KernelModel):
     def exact_trace(self) -> BatchTrace:
         return self._outer_range_trace(0, self.n, *self._trace_template())
 
-    def exact_trace_blocks(self, target_rows: int = 1 << 21):
-        """Bounded-memory emitter: blocks of whole outer iterations,
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded-memory emitter: segments of whole outer iterations,
         ~``target_rows`` rows each, concatenating byte-identically to
         :meth:`exact_trace`. A Gemm N=512 trace (~4 GB of columns)
-        persists to the disk store through this without ever
-        materializing in RAM."""
+        streams through this without ever materializing in RAM."""
+        target_rows = resolve_segment_rows(target_rows)
         parts = self._trace_template()
         block = parts[-1]
         iters = max(1, target_rows // block)

@@ -26,6 +26,7 @@ from ..engine.analytic import (
     sequential_read,
     sequential_write,
 )
+from ..engine.envconfig import resolve_segment_rows
 from ..engine.stream import (
     Access,
     BatchTrace,
@@ -276,24 +277,27 @@ class SpmvKernel(KernelModel):
             yield Access("y", decls["y"].base + row * DOUBLE, DOUBLE,
                          True)
 
-    def exact_trace(self) -> BatchTrace:
+    def _row_range_trace(self, r0: int, r1: int) -> BatchTrace:
+        """Columns of matrix rows ``r0 <= row < r1``."""
         decls = {d.name: d for d in self.streams()}
         m = self.matrix
-        nnz = m.nnz
-        p = np.arange(nnz, dtype=np.int64)
+        lo, hi = int(m.indptr[r0]), int(m.indptr[r1])
+        p = np.arange(lo, hi, dtype=np.int64)
         inner = BatchTrace.interleaved([
             ("values", decls["values"].base + p * DOUBLE, DOUBLE, False),
             ("colidx", decls["colidx"].base + p * INDEX_BYTES,
              INDEX_BYTES, False),
             ("x", decls["x"].base
-             + m.indices.astype(np.int64) * DOUBLE, DOUBLE, False),
+             + m.indices[lo:hi].astype(np.int64) * DOUBLE, DOUBLE,
+             False),
         ])
         # Insert the per-row y store after each row's nonzeros (three
         # interleaved accesses per nonzero); empty rows stack their
         # stores at the same insertion point in row order.
-        at = np.asarray(m.indptr[1:], dtype=np.int64) * 3
+        at = (np.asarray(m.indptr[r0 + 1:r1 + 1], dtype=np.int64)
+              - lo) * 3
         y_addr = decls["y"].base \
-            + np.arange(m.n_rows, dtype=np.int64) * DOUBLE
+            + np.arange(r0, r1, dtype=np.int64) * DOUBLE
         return BatchTrace(
             streams=inner.streams + ("y",),
             stream_id=np.insert(inner.stream_id, at, np.int16(3)),
@@ -301,6 +305,25 @@ class SpmvKernel(KernelModel):
             size=np.insert(inner.size, at, np.int32(DOUBLE)),
             is_write=np.insert(inner.is_write, at, True),
         )
+
+    def exact_trace(self) -> BatchTrace:
+        return self._row_range_trace(0, self.matrix.n_rows)
+
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded emitter over whole matrix rows (3·nnz+1 trace rows
+        per matrix row, so segment sizes track the sparsity shape)."""
+        target_rows = resolve_segment_rows(target_rows)
+        m = self.matrix
+        # Trace rows before matrix row r: 3·indptr[r] + r.
+        cum = 3 * np.asarray(m.indptr, dtype=np.int64) \
+            + np.arange(m.n_rows + 1, dtype=np.int64)
+        r0 = 0
+        while r0 < m.n_rows:
+            r1 = int(np.searchsorted(cum, cum[r0] + target_rows,
+                                     side="right")) - 1
+            r1 = max(r0 + 1, min(r1, m.n_rows))
+            yield self._row_range_trace(r0, r1)
+            r0 = r1
 
     # ----------------------------------------------------------- work
     def flops(self) -> float:

@@ -29,6 +29,7 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from ..engine.analytic import CacheContext, combine, sequential_read, sequential_write
+from ..engine.envconfig import resolve_segment_rows
 from ..engine.stream import (
     Access,
     BatchTrace,
@@ -125,13 +126,24 @@ class StreamKernel(KernelModel):
                              DOUBLE, False)
             yield Access("dst", bases[-1] + i * DOUBLE, DOUBLE, True)
 
-    def exact_trace(self) -> BatchTrace:
+    def _range_trace(self, i0: int, i1: int) -> BatchTrace:
         bases = self._bases()
-        idx = np.arange(self.n, dtype=np.int64) * DOUBLE
+        idx = np.arange(i0, i1, dtype=np.int64) * DOUBLE
         sites = [(f"src{i}", bases[i] + idx, DOUBLE, False)
                  for i in range(self.n_sources)]
         sites.append(("dst", bases[-1] + idx, DOUBLE, True))
         return BatchTrace.interleaved(sites)
+
+    def exact_trace(self) -> BatchTrace:
+        return self._range_trace(0, self.n)
+
+    def segments(self, target_rows: Optional[int] = None):
+        """Bounded emitter over whole loop iterations."""
+        target_rows = resolve_segment_rows(target_rows)
+        per_iter = self.n_sources + 1
+        step = max(1, target_rows // per_iter)
+        for i0 in range(0, self.n, step):
+            yield self._range_trace(i0, min(i0 + step, self.n))
 
     # ----------------------------------------------------------- work
     def flops(self) -> float:

@@ -15,6 +15,7 @@ from repro.bench import (
 from repro.bench.compare import (
     WALL_ABS_SLACK_S,
     is_deviation_metric,
+    is_info_metric,
     resolve_thresholds,
 )
 from repro.errors import ConfigurationError
@@ -151,6 +152,20 @@ def test_plain_metric_gates_drift_in_both_directions():
         assert "drifted" in result.regressions[0].detail
     within = report([record("a", metrics={"events": 105.0})])
     assert compare_reports(within, base).ok
+
+
+def test_info_metrics_never_gate():
+    # Machine-dependent observability readings: free to drift wildly,
+    # disappear, or appear without tripping the determinism gate.
+    base = report([record("a", metrics={"m": 1.0,
+                                        "info_utilization": 0.9,
+                                        "info_queue_depth": 3.0})])
+    cur = report([record("a", metrics={"m": 1.0,
+                                       "info_utilization": 0.01,
+                                       "info_new_reading": 7.0})])
+    assert compare_reports(cur, base).ok
+    assert is_info_metric("info_utilization")
+    assert not is_info_metric("utilization_info")
 
 
 def test_disappeared_metric_is_a_regression():

@@ -1,0 +1,407 @@
+"""Differential tests for the segment-pipelined exact engine.
+
+DESIGN.md §6.3: segment boundaries must be invisible — every kernel's
+``segments()`` emitter must concatenate byte-identically to its
+monolithic ``exact_trace()``, and the pipelined engine (inline or
+through the persistent worker pool) must reproduce the batch engine's
+traffic, hit and miss counts exactly, for any segment size, ring
+depth, and worker count. Checkpointed multi-kernel runs must resume
+after a fault without changing a single byte of the totals.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.envconfig import (
+    CHUNK_ROWS_ENV,
+    N_SHARDS_ENV,
+    RING_DEPTH_ENV,
+    SEGMENT_ROWS_ENV,
+    default_chunk_rows,
+    default_ring_depth,
+    default_segment_rows,
+    env_n_shards,
+    resolve_segment_rows,
+)
+from repro.engine.exact import ExactEngine, ShardedExactEngine
+from repro.engine.loopnest import AffineAccess, LoopNest
+from repro.engine.pipeline import PipelinedExactEngine
+from repro.errors import SimulationError
+from repro.fft3d.decomp import LocalBlock
+from repro.fft3d.resort import S1CB, S2CF
+from repro.kernels.blas import CappedGemv, Dot, Gemm
+from repro.kernels.sparse import SpmvKernel, random_csr
+from repro.kernels.stream import StreamKernel
+from repro.machine.config import CacheConfig
+
+SMALL = CacheConfig(capacity_bytes=64 * 1024)
+
+BLOCK = LocalBlock(planes=4, rows=6, cols=8)
+
+#: One representative per kernel family (plus fft3d resort shapes):
+#: every ``segments()`` implementation in the tree is exercised.
+FAMILY_KERNELS = [
+    Dot(777),
+    Gemm(10),
+    CappedGemv(m=9, n=7, p=3),
+    StreamKernel(op="triad", n=500),
+    SpmvKernel(random_csr(40, 5, seed=1)),
+    LoopNest(
+        name="nest-dup-arrays",
+        bounds=(5, 4, 3),
+        accesses=[
+            AffineAccess("A", coeffs=(4, 0, 1)),
+            AffineAccess("A", coeffs=(0, 3, 1), offset=2),
+            AffineAccess("B", coeffs=(0, 1, 4), is_write=True,
+                         elem_bytes=4),
+        ],
+    ),
+    S2CF(BLOCK),
+    S1CB(BLOCK),
+]
+
+_IDS = [k.name for k in FAMILY_KERNELS]
+
+
+def batch_reference(kernel):
+    eng = ExactEngine(SMALL)
+    traffic = eng.run_nest(kernel.streams(), kernel.exact_trace())
+    return (traffic.read_bytes, traffic.write_bytes,
+            eng.sim.stats_hits, eng.sim.stats_misses)
+
+
+def pipelined_state(engine, traffic):
+    return (traffic.read_bytes, traffic.write_bytes,
+            engine.last_stats["hits"], engine.last_stats["misses"])
+
+
+# ----------------------------------------------------------------------
+# segment protocol: concat(segments) == exact_trace, any target_rows
+# ----------------------------------------------------------------------
+class TestSegmentProtocol:
+    @given(kernel_i=st.integers(0, len(FAMILY_KERNELS) - 1),
+           target_rows=st.one_of(
+               st.integers(1, 64),
+               st.integers(65, 5000),
+               st.just(10**9)))
+    @settings(max_examples=60, deadline=None)
+    def test_segments_concatenate_to_exact_trace(self, kernel_i,
+                                                 target_rows):
+        kernel = FAMILY_KERNELS[kernel_i]
+        ref = kernel.exact_trace()
+        segs = list(kernel.segments(target_rows))
+        assert segs, "segments() emitted nothing"
+        assert all(len(s) > 0 for s in segs), "empty segment emitted"
+        assert all(s.streams == ref.streams for s in segs)
+        total = sum(len(s) for s in segs)
+        assert total == len(ref)
+        for col in ("addr", "size", "stream_id", "is_write"):
+            got = np.concatenate([getattr(s, col) for s in segs])
+            np.testing.assert_array_equal(got, getattr(ref, col), col)
+
+    @pytest.mark.parametrize("kernel", FAMILY_KERNELS, ids=_IDS)
+    def test_exact_trace_blocks_alias(self, kernel):
+        """Back-compat: the old block emitter delegates to segments."""
+        blocks = list(kernel.exact_trace_blocks())
+        ref = kernel.exact_trace()
+        assert sum(len(b) for b in blocks) == len(ref)
+
+    def test_segments_reject_nonpositive_target(self):
+        with pytest.raises(SimulationError):
+            list(Dot(64).segments(0))
+        with pytest.raises(SimulationError):
+            list(Gemm(8).segments(-5))
+
+
+# ----------------------------------------------------------------------
+# hypothesis differential: pipelined inline == monolithic batch
+# ----------------------------------------------------------------------
+class TestInlinePipelineDifferential:
+    @given(kernel_i=st.integers(0, len(FAMILY_KERNELS) - 1),
+           segment_rows=st.integers(1, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_inline_matches_batch(self, kernel_i, segment_rows):
+        kernel = FAMILY_KERNELS[kernel_i]
+        ref = batch_reference(kernel)
+        eng = PipelinedExactEngine(SMALL, n_workers=0,
+                                   segment_rows=segment_rows)
+        traffic = eng.run_kernel(kernel)
+        assert pipelined_state(eng, traffic) == ref
+
+    def test_inline_run_nest_from_batch_trace(self):
+        kernel = Gemm(12)
+        ref = batch_reference(kernel)
+        eng = PipelinedExactEngine(SMALL, n_workers=0, segment_rows=97)
+        traffic = eng.run_nest(kernel.streams(), kernel.exact_trace())
+        assert pipelined_state(eng, traffic) == ref
+
+    def test_rejects_partial_flush(self):
+        kernel = Dot(128)
+        eng = PipelinedExactEngine(SMALL, n_workers=0)
+        with pytest.raises(SimulationError):
+            eng.run_nest(kernel.streams(), kernel.exact_trace(),
+                         flush_at_end=False)
+
+
+# ----------------------------------------------------------------------
+# worker-pool pipeline
+# ----------------------------------------------------------------------
+class TestPooledPipeline:
+    @pytest.mark.parametrize("kernel", FAMILY_KERNELS, ids=_IDS)
+    def test_pool_matches_batch(self, kernel):
+        ref = batch_reference(kernel)
+        with PipelinedExactEngine(SMALL, n_workers=2, segment_rows=131,
+                                  ring_depth=3) as eng:
+            traffic = eng.run_kernel(kernel)
+            assert pipelined_state(eng, traffic) == ref
+
+    def test_single_worker_and_tight_ring_backpressure(self):
+        # ring_depth=1 forces a full producer/consumer handshake on
+        # every segment; a slot-reuse race would corrupt the counters.
+        kernel = Gemm(12)
+        ref = batch_reference(kernel)
+        for n_workers, depth in ((1, 1), (2, 1), (3, 2)):
+            with PipelinedExactEngine(SMALL, n_workers=n_workers,
+                                      segment_rows=53,
+                                      ring_depth=depth) as eng:
+                traffic = eng.run_kernel(kernel)
+                assert pipelined_state(eng, traffic) == ref, \
+                    (n_workers, depth)
+
+    def test_pool_persists_across_runs(self):
+        with PipelinedExactEngine(SMALL, n_workers=2,
+                                  segment_rows=211) as eng:
+            eng.run_kernel(Gemm(10))
+            pids = eng.worker_pids()
+            assert len(pids) == 2
+            eng.run_kernel(Dot(999))
+            assert eng.worker_pids() == pids  # no respawn per kernel
+            eng.run_many([Gemm(8), StreamKernel(op="triad", n=700)])
+            assert eng.worker_pids() == pids
+
+    def test_run_many_matches_per_kernel_runs(self):
+        kernels = [Gemm(10), Dot(777),
+                   StreamKernel(op="triad", n=900),
+                   SpmvKernel(random_csr(30, 4, seed=2))]
+        refs = [batch_reference(k) for k in kernels]
+        with PipelinedExactEngine(SMALL, n_workers=2,
+                                  segment_rows=149) as eng:
+            results = eng.run_many(kernels)
+        assert len(results) == len(kernels)
+        for traffic, ref in zip(results, refs):
+            assert (traffic.read_bytes, traffic.write_bytes) == ref[:2]
+
+    def test_stored_trace_source(self, tmp_path):
+        from repro.engine.tracestore import TraceStore
+
+        kernel = Gemm(10)
+        store = TraceStore(tmp_path / "store", verify="full")
+        entry = store.get_or_create(kernel)
+        ref = batch_reference(kernel)
+        with PipelinedExactEngine(SMALL, n_workers=2,
+                                  segment_rows=257) as eng:
+            traffic = eng.run_nest(kernel.streams(), entry)
+        entry.close()
+        assert pipelined_state(eng, traffic) == ref
+
+    def test_pipeline_stats_recorded(self):
+        with PipelinedExactEngine(SMALL, n_workers=2,
+                                  segment_rows=101) as eng:
+            eng.run_kernel(Gemm(10))
+            stats = eng.last_pipeline_stats
+        assert stats["mode"] == "pool"
+        assert stats["n_workers"] == 2
+        assert stats["segments"] > 1
+        assert stats["rows"] == len(Gemm(10).exact_trace())
+        assert 0.0 <= stats["utilization"] <= 1.0
+        assert stats["max_queue_depth"] <= eng.ring_depth
+        assert stats["mean_queue_depth"] <= stats["max_queue_depth"]
+
+    def test_dead_worker_detected(self):
+        eng = PipelinedExactEngine(SMALL, n_workers=2, segment_rows=64)
+        try:
+            eng.run_kernel(Dot(500))
+            os.kill(eng.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(SimulationError, match="died"):
+                # Enough work that the producer must wait on the pool.
+                eng.run_kernel(Gemm(24))
+        finally:
+            eng.close()
+
+    def test_close_is_idempotent_and_engine_reusable(self):
+        eng = PipelinedExactEngine(SMALL, n_workers=1, segment_rows=64)
+        ref = batch_reference(Dot(300))
+        traffic = eng.run_kernel(Dot(300))
+        eng.close()
+        eng.close()
+        traffic2 = eng.run_kernel(Dot(300))  # pool respawns
+        eng.close()
+        assert (traffic.read_bytes, traffic.write_bytes) == ref[:2]
+        assert (traffic2.read_bytes, traffic2.write_bytes) == ref[:2]
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume with fault injection
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_resume_after_hook_fault(self, tmp_path):
+        kernels = [Gemm(10), Dot(777), StreamKernel(op="triad", n=800)]
+        refs = [batch_reference(k) for k in kernels]
+
+        calls = []
+
+        def hook(worker_id):
+            calls.append(worker_id)
+            if len(calls) == 2:
+                raise RuntimeError("injected fault")
+
+        eng = PipelinedExactEngine(SMALL, n_workers=2, segment_rows=173,
+                                   checkpoint_dir=tmp_path / "ckpt")
+        eng.after_shard_hook = hook
+        with pytest.raises(RuntimeError, match="injected fault"):
+            eng.run_many(kernels)
+        assert eng._pool is None  # pool torn down on fault
+
+        fresh = PipelinedExactEngine(SMALL, n_workers=2,
+                                     segment_rows=173,
+                                     checkpoint_dir=tmp_path / "ckpt")
+        with fresh:
+            results = fresh.run_many(kernels)
+        assert fresh.kernels_resumed >= 1
+        for traffic, ref in zip(results, refs):
+            assert (traffic.read_bytes, traffic.write_bytes) == ref[:2]
+
+    def test_checkpoint_independent_of_worker_count(self, tmp_path):
+        # Totals are identical regardless of sharding, so a checkpoint
+        # written inline must satisfy a pooled rerun (and vice versa).
+        kernel = Gemm(10)
+        ref = batch_reference(kernel)
+        inline = PipelinedExactEngine(SMALL, n_workers=0,
+                                      checkpoint_dir=tmp_path / "c")
+        inline.run_many([kernel])
+        with PipelinedExactEngine(SMALL, n_workers=2,
+                                  checkpoint_dir=tmp_path / "c") as eng:
+            results = eng.run_many([kernel])
+        assert eng.kernels_resumed == 1
+        assert (results[0].read_bytes, results[0].write_bytes) == ref[:2]
+
+
+# ----------------------------------------------------------------------
+# env knobs: parse-time validation and plumbing
+# ----------------------------------------------------------------------
+class TestEnvKnobs:
+    def test_defaults_without_env(self, monkeypatch):
+        for env in (CHUNK_ROWS_ENV, SEGMENT_ROWS_ENV, N_SHARDS_ENV,
+                    RING_DEPTH_ENV):
+            monkeypatch.delenv(env, raising=False)
+        assert default_chunk_rows() == 1 << 19
+        assert default_segment_rows() == 1 << 20
+        assert default_ring_depth() == 4
+        assert env_n_shards() is None
+
+    @pytest.mark.parametrize("env,resolver", [
+        (CHUNK_ROWS_ENV, default_chunk_rows),
+        (SEGMENT_ROWS_ENV, default_segment_rows),
+        (RING_DEPTH_ENV, default_ring_depth),
+        (N_SHARDS_ENV, env_n_shards),
+    ])
+    @pytest.mark.parametrize("bad", ["0", "-3", "1.5", "lots"])
+    def test_bad_values_fail_at_parse_time(self, monkeypatch, env,
+                                           resolver, bad):
+        monkeypatch.setenv(env, bad)
+        with pytest.raises(SimulationError, match=env):
+            resolver()
+
+    def test_env_overrides_are_read(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ROWS_ENV, "12345")
+        monkeypatch.setenv(SEGMENT_ROWS_ENV, "777")
+        monkeypatch.setenv(RING_DEPTH_ENV, "9")
+        monkeypatch.setenv(N_SHARDS_ENV, "12")
+        assert default_chunk_rows() == 12345
+        assert resolve_segment_rows(None) == 777
+        assert resolve_segment_rows(55) == 55
+        assert default_ring_depth() == 9
+        assert env_n_shards() == 12
+
+    def test_segment_env_flows_into_kernel_segments(self, monkeypatch):
+        monkeypatch.setenv(SEGMENT_ROWS_ENV, "100")
+        segs = list(Dot(400).segments())
+        assert len(segs) == 8  # 800 rows / (100-row target => 50 iters)
+
+    def test_sharded_engine_cap_lifted(self, monkeypatch):
+        monkeypatch.delenv(N_SHARDS_ENV, raising=False)
+        eng = ShardedExactEngine(SMALL, n_shards=12)
+        assert eng.n_shards == 12  # old hard cap was min(8, cpus)
+        monkeypatch.setenv(N_SHARDS_ENV, "10")
+        assert ShardedExactEngine(SMALL).n_shards == 10
+        monkeypatch.setenv(N_SHARDS_ENV, "junk")
+        with pytest.raises(SimulationError, match=N_SHARDS_ENV):
+            ShardedExactEngine(SMALL)
+
+    def test_sharded_engine_still_clamped_to_sets(self, monkeypatch):
+        cfg = CacheConfig(capacity_bytes=4 * 1024, associativity=16)
+        monkeypatch.setenv(N_SHARDS_ENV, "64")
+        assert ShardedExactEngine(cfg).n_shards <= cfg.n_sets
+
+    def test_pipelined_engine_rejects_bad_args(self):
+        with pytest.raises(SimulationError):
+            PipelinedExactEngine(SMALL, n_workers=-1)
+        with pytest.raises(SimulationError):
+            PipelinedExactEngine(SMALL, segment_rows=0)
+        with pytest.raises(SimulationError):
+            PipelinedExactEngine(SMALL, ring_depth=0)
+
+    def test_chunk_rows_env_flows_into_exact_engine(self, monkeypatch,
+                                                    tmp_path):
+        from repro.engine.tracestore import TraceStore
+
+        kernel = Dot(512)
+        store = TraceStore(tmp_path / "s", verify="full")
+        entry = store.get_or_create(kernel)
+        monkeypatch.setenv(CHUNK_ROWS_ENV, "junk")
+        with pytest.raises(SimulationError, match=CHUNK_ROWS_ENV):
+            ExactEngine(SMALL).run_nest(kernel.streams(), entry)
+        monkeypatch.setenv(CHUNK_ROWS_ENV, "100")
+        ref = batch_reference(kernel)
+        traffic = ExactEngine(SMALL).run_nest(kernel.streams(), entry)
+        entry.close()
+        assert (traffic.read_bytes, traffic.write_bytes) == ref[:2]
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+class TestPipelineCli:
+    def test_pipeline_subcommand_inline(self, capsys):
+        from repro.cli import main
+
+        rc = main(["pipeline", "--kernel", "dot", "--size", "2000",
+                   "--workers", "0", "--segment-rows", "512",
+                   "--compare-sequential", "--shards", "2", "--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        import json
+
+        report = json.loads(captured.out)
+        assert report["traffic_match"] is True
+        assert report["pipeline"]["mode"] == "inline"
+        assert report["sequential"]["n_shards"] == 2
+
+    def test_pipeline_subcommand_pool(self, capsys):
+        from repro.cli import main
+
+        rc = main(["pipeline", "--kernel", "stream-triad", "--size",
+                   "20000", "--workers", "2", "--segment-rows", "4096",
+                   "--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        import json
+
+        report = json.loads(captured.out)
+        assert report["pipeline"]["mode"] == "pool"
+        assert report["pipeline"]["n_workers"] == 2
