@@ -291,6 +291,143 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sample_parser() -> argparse.ArgumentParser:
+    from .bench.registry import DEFAULT_SEED
+    from .engine.envconfig import (
+        SAMPLE_JITTER_ENV,
+        SAMPLE_PERIOD_ENV,
+        SAMPLE_SKID_ENV,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sample",
+        description="Profile a kernel with the SPE/PEBS-style "
+                    "statistical sampling observer: per-sample records "
+                    "plus period-scaled traffic estimators, compared "
+                    "against the exact replay.",
+    )
+    parser.add_argument("--kernel", default="gemm",
+                        choices=["gemm", "dot", "spmv", "stream-copy",
+                                 "stream-scale", "stream-add",
+                                 "stream-triad"],
+                        help="kernel family to profile (default: gemm)")
+    parser.add_argument("--size", type=int, default=128,
+                        help="problem size: matrix order for gemm/spmv, "
+                             "vector length for dot/stream-* "
+                             "(default: 128)")
+    parser.add_argument("--cache-kib", type=float, default=128.0,
+                        help="simulated cache capacity in KiB (default: "
+                             "128 — small enough that miss events stay "
+                             "dense and the estimators converge fast)")
+    parser.add_argument("--period", type=int, default=None,
+                        help="mean accesses per sample (default: "
+                             f"${SAMPLE_PERIOD_ENV} or 64)")
+    parser.add_argument("--period-jitter", type=int, default=None,
+                        help="half-width of the uniform gap "
+                             "randomization (default: period/4, floor "
+                             "1; 0 risks aliasing)")
+    parser.add_argument("--store-period", type=int, default=None,
+                        help="mean stores per store-channel sample "
+                             "(default: period/16, min 1)")
+    parser.add_argument("--skid", type=int, default=None,
+                        help="fixed record skid in accesses (default: "
+                             f"${SAMPLE_SKID_ENV} or 0)")
+    parser.add_argument("--skid-jitter", type=int, default=None,
+                        help="random extra skid bound (default: "
+                             f"${SAMPLE_JITTER_ENV} or 0)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="sampling RNG seed")
+    parser.add_argument("--top", type=int, default=5,
+                        help="hot cache lines to report (default: 5)")
+    parser.add_argument("--max-error", type=float, default=None,
+                        help="exit nonzero when the total-traffic "
+                             "relative error exceeds this bound "
+                             "(CI smoke gate)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    return parser
+
+
+def _run_sample_cmd(argv: List[str]) -> int:
+    import time as _time
+
+    from .machine.config import CacheConfig
+    from .papi.sampling import (
+        LEVEL_NAMES,
+        SamplingConfig,
+        SamplingObserver,
+    )
+    from .units import KIB
+
+    args = build_sample_parser().parse_args(argv)
+    kernel = _pipeline_kernel(args.kernel, args.size)
+    cache = CacheConfig(capacity_bytes=int(args.cache_kib * KIB))
+    config = SamplingConfig(
+        period=args.period, period_jitter=args.period_jitter,
+        store_period=args.store_period, skid=args.skid,
+        skid_jitter=args.skid_jitter, seed=args.seed)
+    observer = SamplingObserver(cache, kernel.streams(), config)
+    t0 = _time.perf_counter()
+    observer.observe_kernel(kernel)
+    wall = _time.perf_counter() - t0
+
+    exact = observer.exact_traffic()
+    est = observer.estimated_traffic()
+    errors = observer.relative_errors()
+    levels = observer.records()["level"]
+    level_counts = {name: int((levels == level).sum())
+                    for level, name in sorted(LEVEL_NAMES.items())}
+    report = {
+        "kernel": kernel.name,
+        "cache_kib": args.cache_kib,
+        "period": config.period,
+        "period_jitter": config.period_jitter,
+        "store_period": config.store_period,
+        "store_jitter": config.store_jitter,
+        "skid": config.skid,
+        "skid_jitter": config.skid_jitter,
+        "seed": args.seed,
+        "exact": {"read_bytes": exact.read_bytes,
+                  "write_bytes": exact.write_bytes},
+        "estimated": {"read_bytes": round(est.read_bytes, 1),
+                      "write_bytes": round(est.write_bytes, 1)},
+        "relative_error": {k: round(v, 6) for k, v in errors.items()},
+        "levels": level_counts,
+        "overhead": observer.overhead(),
+        "hot_lines": observer.hot_lines(args.top),
+        "wall_s": round(wall, 3),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        ov = report["overhead"]
+        print(f"[sample] {kernel.name}: {observer.accesses_observed:,} "
+              f"accesses, {ov['samples']:,} samples "
+              f"(period {config.period}±{config.period_jitter}, "
+              f"store period {config.store_period}"
+              f"±{config.store_jitter}, skid {config.skid}"
+              f"+U[0,{config.skid_jitter}]) in {wall:.3f}s")
+        print(f"  exact     read {exact.read_bytes:,} B, "
+              f"write {exact.write_bytes:,} B")
+        print(f"  estimated read {est.read_bytes:,.0f} B, "
+              f"write {est.write_bytes:,.0f} B "
+              f"(rel err read {errors['read']:.3%}, "
+              f"write {errors['write']:.3%}, "
+              f"total {errors['total']:.3%})")
+        print(f"  levels {level_counts}, records {ov['records_kept']:,} "
+              f"kept / {ov['records_dropped']:,} dropped, "
+              f"{ov['replay_slices']:,} replay slices")
+        for line in report["hot_lines"]:
+            print(f"  hot line 0x{line['line_addr']:x} "
+                  f"[{line['stream']}] ~{line['est_read_bytes']:,.0f} B "
+                  f"read ({line['samples']} sampled fetches)")
+    if args.max_error is not None and errors["total"] > args.max_error:
+        print(f"total relative error {errors['total']:.4f} exceeds "
+              f"--max-error {args.max_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _pipeline_kernel(name: str, size: int):
     from .kernels import Dot, Gemm, SpmvKernel, StreamKernel, random_csr
 
@@ -519,6 +656,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "pipeline" in argv:
         split = argv.index("pipeline")
         return _run_pipeline_cmd(argv[:split] + argv[split + 1:])
+    if "sample" in argv:
+        split = argv.index("sample")
+        return _run_sample_cmd(argv[:split] + argv[split + 1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():
@@ -532,6 +672,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(trace-store --help)")
         print("pipeline    Segment-pipelined exact engine runner "
               "(pipeline --help)")
+        print("sample      SPE/PEBS-style sampling profiler with "
+              "accuracy report (sample --help)")
         return 0
     if args.experiment == "pcp-stress":
         return _run_pcp_stress(args)

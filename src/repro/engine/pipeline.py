@@ -242,6 +242,12 @@ class PipelinedExactEngine:
         #: each worker's contribution to a completed nest has been
         #: accumulated (and the nest checkpointed, if enabled).
         self.after_shard_hook: Optional[Callable[[int], None]] = None
+        #: Observer hook: called with every raw (pre-bypass,
+        #: unexpanded) trace segment as the producer streams it, in
+        #: program order — the attachment point for the sampling
+        #: observer (``repro.papi.sampling``), which profiles the run
+        #: in flight without a second generation pass.
+        self.segment_tap: Optional[Callable[[BatchTrace], None]] = None
         #: How many kernels the last ``run_many`` restored from
         #: checkpoints instead of recomputing.
         self.kernels_resumed = 0
@@ -435,6 +441,8 @@ class PipelinedExactEngine:
         for segment in segments:
             if not len(segment):
                 continue
+            if self.segment_tap is not None:
+                self.segment_tap(segment)
             start = time.perf_counter()
             stats["rows"] += len(segment)
             byp_col = _bypass_column(segment, bypass)

@@ -706,6 +706,35 @@ class CacheSim:
                 total += bin(line.dirty_mask).count("1") * self.granule
         return total
 
+    def probe(self, addr: int, size: int) -> List[Tuple[bool, bool]]:
+        """Per-sector ``(resident, dirty)`` state of a span *without*
+        touching it: no recency update, no traffic, no hit/miss stats.
+
+        The sampling observer (``repro.papi.sampling``) uses this to
+        classify a sampled access against the exact state the access
+        is about to see — the information a PEBS/SPE sample record
+        carries for free in hardware.
+        """
+        out: List[Tuple[bool, bool]] = []
+        end = addr + size
+        while addr < end:
+            sector_end = (addr // self.granule + 1) * self.granule
+            set_idx, tag, sector = self._split(addr)
+            line = self._sets[set_idx].get(tag)
+            bit = 1 << sector
+            resident = line is not None and bool(line.valid_mask & bit)
+            dirty = resident and bool(line.dirty_mask & bit)
+            out.append((resident, dirty))
+            addr = min(end, sector_end)
+        return out
+
+    def wcb_gathered_bytes(self, addr: int) -> int:
+        """Bytes already gathered in the write-combining buffer for the
+        sector containing ``addr`` (0 when that sector has no pending
+        fragment). Read-only, like :meth:`probe`."""
+        sector_addr = (addr // self.granule) * self.granule
+        return self._wcb.get(sector_addr, 0)
+
     def snapshot(self) -> Dict[int, List[Tuple[int, int, int]]]:
         """Full replacement-relevant state: per non-empty set, the
         resident ``(tag, valid_mask, dirty_mask)`` triples ordered from

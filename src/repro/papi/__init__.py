@@ -12,6 +12,7 @@ from .components import (
     NVMLComponent,
     PCPComponent,
     PerfUncoreComponent,
+    SamplingComponent,
 )
 from .consts import (
     COMPONENT_DELIMITER,
@@ -30,6 +31,7 @@ from .consts import (
 from .eventset import EventSet
 from .hl import HighLevelApi, RegionStats
 from .papi import Papi, library_init
+from .sampling import SamplingConfig, SamplingObserver, TrafficEstimate
 
 __all__ = [
     "COMPONENT_DELIMITER",
@@ -54,6 +56,10 @@ __all__ = [
     "PCPComponent",
     "Papi",
     "PerfUncoreComponent",
+    "SamplingComponent",
+    "SamplingConfig",
+    "SamplingObserver",
+    "TrafficEstimate",
     "library_init",
     "strerror",
 ]

@@ -1,13 +1,16 @@
-"""Built-in PAPI components: pcp, perf_event_uncore, nvml, infiniband."""
+"""Built-in PAPI components: pcp, perf_event_uncore, nvml,
+infiniband, sampling."""
 
 from .infiniband import InfinibandComponent
 from .nvml import NVMLComponent
 from .pcp import PCPComponent
 from .perf_nest import PerfUncoreComponent
+from .sampling import SamplingComponent
 
 __all__ = [
     "InfinibandComponent",
     "NVMLComponent",
     "PCPComponent",
     "PerfUncoreComponent",
+    "SamplingComponent",
 ]

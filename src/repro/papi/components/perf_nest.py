@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ...errors import PapiNoEvent, PapiPermissionDenied, PrivilegeError, SimulationError
+from ...errors import (
+    PapiNoEvent,
+    PapiPermissionDenied,
+    PrivilegeError,
+    SimulationError,
+)
 from ...machine.node import Node
 from ...pmu.events import all_uncore_events, socket_instance_cpu
 from ...pmu.perf import open_uncore_event, parse_uncore_event

@@ -1,0 +1,110 @@
+"""sampling component: SPE/PEBS-style sampled-traffic estimators.
+
+The exact-counter components (perf_event_uncore, pcp) expose what
+privileged nest counters measure; this component exposes what a
+*statistical sampling* profiler estimates from the same access
+stream — the production-profiler view of memory traffic. Events are
+read from an attached :class:`~repro.papi.sampling.SamplingObserver`
+so an event set can sit next to the exact counters in one
+measurement region and the two can be compared directly::
+
+    es = papi.create_eventset()
+    es.add_event("sampling:::EST_TOTAL_BYTES")
+    es.start()
+    observer.observe_kernel(kernel)
+    counts = es.stop()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import PapiNoEvent
+from ..component import Component, NativeEventHandle
+from ..sampling import SamplingObserver
+
+
+class SamplingComponent(Component):
+    """Sampled-traffic estimators from a SamplingObserver."""
+
+    name = "sampling"
+    description = ("Statistical sampling profiler (SPE/PEBS-style "
+                   "period-scaled traffic estimators)")
+    #: Reading a software-maintained estimator is a memory load.
+    read_latency_seconds = 1.0e-6
+
+    #: Event name -> (units, reader attribute description).
+    EVENTS = (
+        "SAMPLES",
+        "ACCESS_SAMPLES",
+        "STORE_SAMPLES",
+        "ACCESSES_OBSERVED",
+        "STORES_OBSERVED",
+        "EST_READ_BYTES",
+        "EST_WRITE_BYTES",
+        "EST_TOTAL_BYTES",
+        "RECORDS_KEPT",
+        "RECORDS_DROPPED",
+        "SKID_DROPPED",
+    )
+    _BYTE_EVENTS = frozenset(
+        {"EST_READ_BYTES", "EST_WRITE_BYTES", "EST_TOTAL_BYTES"})
+
+    def __init__(self, observer: Optional[SamplingObserver] = None):
+        self.observer = observer
+
+    def attach(self, observer: SamplingObserver) -> None:
+        """Bind (or rebind) the observer events read from."""
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+    def is_available(self) -> Tuple[bool, str]:
+        if self.observer is None:
+            return False, ("no sampling observer attached; construct "
+                           "Papi(..., sampling_observer=...) or call "
+                           "attach()")
+        return True, ""
+
+    def list_events(self) -> List[str]:
+        return [f"{self.name}:::{event}" for event in self.EVENTS]
+
+    def open_event(self, name: str) -> NativeEventHandle:
+        bare = self.strip_prefix(name)
+        if bare not in self.EVENTS:
+            raise PapiNoEvent(
+                f"sampling component has no event {bare!r}; "
+                f"available: {list(self.EVENTS)}")
+        return NativeEventHandle(
+            name=name,
+            reader=lambda: self._read(bare),
+            component=self,
+            units="bytes" if bare in self._BYTE_EVENTS else "",
+        )
+
+    # ------------------------------------------------------------------
+    def _read(self, event: str) -> int:
+        obs = self.observer
+        if obs is None:
+            return 0
+        if event == "SAMPLES":
+            return obs.n_samples
+        if event == "ACCESS_SAMPLES":
+            return obs.n_access_samples
+        if event == "STORE_SAMPLES":
+            return obs.n_store_samples
+        if event == "ACCESSES_OBSERVED":
+            return obs.accesses_observed
+        if event == "STORES_OBSERVED":
+            return obs.stores_observed
+        if event == "RECORDS_KEPT":
+            return obs.records_kept
+        if event == "RECORDS_DROPPED":
+            return obs.records_dropped
+        if event == "SKID_DROPPED":
+            return obs.skid_dropped
+        est = obs.estimated_traffic()
+        if event == "EST_READ_BYTES":
+            return int(round(est.read_bytes))
+        if event == "EST_WRITE_BYTES":
+            return int(round(est.write_bytes))
+        return int(round(est.total_bytes))

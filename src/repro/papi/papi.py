@@ -33,14 +33,17 @@ from .components.pcp import PCPComponent
 from .components.perf_core import PerfCoreComponent
 from .components.perf_nest import PerfUncoreComponent
 from .components.rapl import RaplComponent
+from .components.sampling import SamplingComponent
 from .consts import PAPI_VER_CURRENT
 from .eventset import EventSet
+from .sampling import SamplingObserver
 
 
 class Papi:
     """One initialised PAPI library instance bound to a node."""
 
-    def __init__(self, node: Node, pmcd: Optional[PMCD] = None):
+    def __init__(self, node: Node, pmcd: Optional[PMCD] = None,
+                 sampling_observer: Optional[SamplingObserver] = None):
         self.node = node
         self.version = PAPI_VER_CURRENT
         self.components = ComponentRegistry()
@@ -57,6 +60,9 @@ class Papi:
             self.components.register(NVMLComponent(node))
         if node.nics:
             self.components.register(InfinibandComponent(node))
+        if sampling_observer is not None:
+            self.components.register(
+                SamplingComponent(sampling_observer))
 
     # ------------------------------------------------------------------
     def create_eventset(self) -> EventSet:

@@ -39,3 +39,42 @@ class TestCLI:
         assert data["experiment_id"] == "table1"
         assert data["rows"][0][0] == "Summit"
         assert isinstance(data["headers"], list)
+
+
+class TestSampleCLI:
+    # 4 KiB cache on GEMM N=32: B no longer fits, so miss events are
+    # dense and the estimate converges fast even at this tiny scale.
+    ARGS = ["--kernel", "gemm", "--size", "32", "--cache-kib", "4",
+            "--period", "8", "--json"]
+
+    def test_sample_smoke(self, capsys):
+        import json
+
+        assert main(["sample"] + self.ARGS) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "gemm-32"
+        assert data["period"] == 8
+        assert data["exact"]["read_bytes"] > 0
+        assert data["relative_error"]["total"] < 0.25
+        assert data["overhead"]["samples"] > 0
+        assert data["hot_lines"]
+
+    def test_sample_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "sample" in capsys.readouterr().out
+
+    def test_sample_dispatches_after_leading_global_flags(self, capsys):
+        # The PR-3 regression class: `--seed 42 bench` used to feed
+        # the experiment parser. The sample subcommand must dispatch
+        # wherever it sits in argv.
+        import json
+
+        assert main(["--seed", "42", "sample"] + self.ARGS) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "gemm-32"
+        assert data["seed"] == 42
+
+    def test_sample_max_error_gate(self, capsys):
+        assert main(["sample"] + self.ARGS + ["--max-error", "1e-12"]) == 1
+        capsys.readouterr()
+        assert main(["sample"] + self.ARGS + ["--max-error", "0.9"]) == 0
