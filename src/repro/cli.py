@@ -90,6 +90,122 @@ def _run_pcp_stress(args) -> int:
     return 0 if healthy else 1
 
 
+def build_pcp_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments pcp-load",
+        description="Drive the asyncio PMCD fabric at service scale: "
+                    "hundreds of concurrent async contexts pipelining "
+                    "fetch PDUs for a wall-clock window, with optional "
+                    "fault injection (shard kills, slow PMDA reads, "
+                    "dropped connections, archive corruption). Exits "
+                    "nonzero when a service invariant was violated or "
+                    "a --min-rate/--max-p99-usec gate fails.",
+    )
+    parser.add_argument("--contexts", type=int, default=256,
+                        help="concurrent async client sessions "
+                             "(default: 256)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="wall-clock seconds of sustained load "
+                             "(default: 5)")
+    parser.add_argument("--pipeline-depth", type=int, default=8,
+                        help="fetch PDUs in flight per context "
+                             "(default: 8)")
+    parser.add_argument("--pmids-per-fetch", type=int, default=4,
+                        help="metrics per fetch PDU (default: 4)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable per-shard request coalescing")
+    parser.add_argument("--kill-shards", type=int, default=0,
+                        help="times to kill the perfevent shard worker "
+                             "mid-run (supervisor must recover)")
+    parser.add_argument("--slow-pmda", type=int, default=0,
+                        help="PMDA reads to stall via fault injection")
+    parser.add_argument("--slow-pmda-seconds", type=float, default=0.02,
+                        help="stall length per slow PMDA read "
+                             "(default: 0.02)")
+    parser.add_argument("--drop-connections", type=int, default=0,
+                        help="served responses to replace with a "
+                             "connection drop (clients must reconnect)")
+    parser.add_argument("--corrupt-archive", action="store_true",
+                        help="seed an archive, bit-flip a sealed volume "
+                             "mid-run, and require replay to fail "
+                             "cleanly")
+    parser.add_argument("--archive-dir", default=None,
+                        help="directory for the --corrupt-archive "
+                             "scratch archive (default: a temp dir)")
+    parser.add_argument("--machine", default="summit",
+                        help="machine config to simulate (default: "
+                             "summit)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="simulation seed (default: 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    parser.add_argument("--hist-out", metavar="PATH", default=None,
+                        help="write the latency histogram + percentiles "
+                             "as a JSON artifact to PATH")
+    parser.add_argument("--min-rate", type=float, default=None,
+                        help="exit nonzero when fetches/s falls below "
+                             "this floor")
+    parser.add_argument("--max-p99-usec", type=float, default=None,
+                        help="exit nonzero when client-observed p99 "
+                             "latency exceeds this bound")
+    return parser
+
+
+def _run_pcp_load(argv: List[str]) -> int:
+    import tempfile
+
+    from .pcp.load import healthy, run_load
+
+    args = build_pcp_load_parser().parse_args(argv)
+    archive_dir = args.archive_dir
+    if args.corrupt_archive and archive_dir is None:
+        archive_dir = tempfile.mkdtemp(prefix="pcp-load-")
+    report = run_load(
+        n_contexts=args.contexts, duration_seconds=args.duration,
+        machine=args.machine, seed=args.seed,
+        pipeline_depth=args.pipeline_depth,
+        pmids_per_fetch=args.pmids_per_fetch,
+        coalesce=not args.no_coalesce, shard_kills=args.kill_shards,
+        slow_pmda=args.slow_pmda,
+        slow_pmda_seconds=args.slow_pmda_seconds,
+        drop_connections=args.drop_connections,
+        corrupt_archive=args.corrupt_archive, archive_dir=archive_dir)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        width = max(len(k) for k in report)
+        for key, value in report.items():
+            print(f"{key:{width}s}  {value}")
+    if args.hist_out:
+        artifact = {
+            "fetches_per_second": report["fetches_per_second"],
+            "total_fetches": report["total_fetches"],
+            "contexts": report["contexts"],
+            "latency_p50_usec": report["latency_p50_usec"],
+            "latency_p90_usec": report["latency_p90_usec"],
+            "latency_p99_usec": report["latency_p99_usec"],
+            "latency_max_usec": report["latency_max_usec"],
+            "latency_histogram": report["latency_histogram"],
+        }
+        with open(args.hist_out, "w") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"latency histogram written to {args.hist_out}",
+              file=sys.stderr)
+    exit_code = 0 if healthy(report) else 1
+    if args.min_rate is not None \
+            and report["fetches_per_second"] < args.min_rate:
+        print(f"fetch rate {report['fetches_per_second']}/s below "
+              f"--min-rate {args.min_rate}", file=sys.stderr)
+        exit_code = 1
+    if args.max_p99_usec is not None \
+            and report["latency_p99_usec"] > args.max_p99_usec:
+        print(f"p99 latency {report['latency_p99_usec']}us exceeds "
+              f"--max-p99-usec {args.max_p99_usec}", file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
 def build_bench_parser() -> argparse.ArgumentParser:
     from .bench.registry import DEFAULT_SEED
 
@@ -659,6 +775,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "sample" in argv:
         split = argv.index("sample")
         return _run_sample_cmd(argv[:split] + argv[split + 1:])
+    if "pcp-load" in argv:
+        split = argv.index("pcp-load")
+        return _run_pcp_load(argv[:split] + argv[split + 1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp in all_experiments():
@@ -666,6 +785,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp.experiment_id:8s} {exp.title}{ref}")
         print("pcp-stress  Concurrent multi-client PMCD stress run "
               "(--clients/--fetches)")
+        print("pcp-load    Asyncio fabric load harness with fault "
+              "injection (pcp-load --help)")
         print("bench       Parallel benchmark suite with regression "
               "baselines (bench --help)")
         print("trace-store On-disk columnar trace store maintenance "

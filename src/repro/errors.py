@@ -51,6 +51,16 @@ class PMNSError(PCPError):
     """A metric name could not be resolved in the PMNS namespace."""
 
 
+class ArchiveError(PCPError):
+    """A problem with an on-disk PCP metric archive."""
+
+
+class ArchiveCorruptionError(ArchiveError):
+    """An archive volume failed validation (truncated tail record,
+    bit-flipped bytes, or an index/volume checksum mismatch); the
+    affected records must never be returned as data."""
+
+
 class PapiError(ReproError):
     """Base class for PAPI-layer errors (mirrors C PAPI return codes)."""
 

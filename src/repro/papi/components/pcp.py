@@ -23,14 +23,14 @@ from typing import Dict, List, Tuple
 
 from ...errors import PapiNoEvent, PCPError
 from ...machine.node import Node
-from ...pcp.client import PmapiContext
+from ...pcp.session import PcpSession
 from ..component import Component, NativeEventHandle
 from ..consts import COMPONENT_DELIMITER
 from ...pmu.events import socket_instance_cpu
 
 
 class PCPComponent(Component):
-    """PAPI component backed by a :class:`PmapiContext`."""
+    """PAPI component backed by a :class:`PcpSession`."""
 
     name = "pcp"
     description = ("Performance Co-Pilot metrics exported by PMCD "
@@ -39,7 +39,7 @@ class PCPComponent(Component):
     # event — leave the generic per-read hook at zero.
     read_latency_seconds = 0.0
 
-    def __init__(self, context: PmapiContext, node: Node):
+    def __init__(self, context: PcpSession, node: Node):
         self.context = context
         self.node = node
         #: metric name -> pmid, filled lazily on open.

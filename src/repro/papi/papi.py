@@ -24,8 +24,8 @@ from typing import Dict, List, Optional
 
 from ..errors import PapiNoEvent
 from ..machine.node import Node
-from ..pcp.client import PmapiContext
 from ..pcp.pmcd import PMCD
+from ..pcp.session import PcpSession
 from .component import Component, ComponentRegistry
 from .components.infiniband import InfinibandComponent
 from .components.nvml import NVMLComponent
@@ -54,7 +54,7 @@ class Papi:
         self.components.register(PerfUncoreComponent(node))
         self.components.register(RaplComponent(node))
         if pmcd is not None:
-            context = PmapiContext(pmcd, node=node)
+            context = PcpSession(pmcd, node=node)
             self.components.register(PCPComponent(context, node))
         if node.gpus:
             self.components.register(NVMLComponent(node))

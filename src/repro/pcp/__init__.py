@@ -1,17 +1,29 @@
 """Simulated Performance Co-Pilot stack: PMNS, PMDAs, the PMCD daemon
-and the client (pmapi) context, plus the concurrent TCP service layer
-(:mod:`~repro.pcp.server`) with fault injection
+and the unified client session surface (:func:`connect` /
+:class:`PcpSession`), plus the threaded TCP service layer
+(:mod:`~repro.pcp.server`), the asyncio multi-tenant fabric
+(:mod:`~repro.pcp.aserver`), on-disk metric archives
+(:mod:`~repro.pcp.archive`) and fault injection
 (:mod:`~repro.pcp.faults`). The privileged perfevent PMDA is what lets
 unprivileged users read nest counters — the mechanism the paper
-validates."""
+validates.
 
+``PmapiContext``, ``RemotePMCD`` and ``PmLogger`` are deprecated shims
+kept for compatibility; new code uses ``pcp.connect(...)``."""
+
+from .archive import ArchiveRecord, MetricArchive, rates_from_records
+from .aserver import AsyncPMCDServer, FabricStats
 from .client import PmapiContext
 from .faults import FaultAction, FaultInjector, FaultKind
 from .pmcd import PMCD, PMCDStats, start_pmcd_for_node
-from .pmlogger import ArchiveRecord, PmLogger
+from .pmlogger import PmLogger
 from .pmda import PMDA, PerfeventPMDA, PmcdPMDA, make_pmid, pmid_domain
 from .pmns import PMNS
 from .protocol import (
+    PROTOCOL_VERSION,
+    ArchiveFetchRequest,
+    ArchiveFetchResponse,
+    ArchiveSample,
     ChildrenRequest,
     ChildrenResponse,
     FetchRequest,
@@ -19,15 +31,24 @@ from .protocol import (
     LookupRequest,
     LookupResponse,
     MetricValues,
+    OpenRequest,
+    OpenResponse,
     PCPStatus,
+    negotiate_version,
 )
-from .server import PMCDServer, RemotePMCD, ServiceStats
+from .server import PMCDServer, RemotePMCD, RemoteTransport, ServiceStats
+from .session import AsyncPcpSession, PcpSession, SessionLogger, connect
 
 __all__ = [
+    "ArchiveFetchRequest",
+    "ArchiveFetchResponse",
     "ArchiveRecord",
+    "ArchiveSample",
+    "AsyncPMCDServer",
+    "AsyncPcpSession",
     "ChildrenRequest",
-    "PmLogger",
     "ChildrenResponse",
+    "FabricStats",
     "FaultAction",
     "FaultInjector",
     "FaultKind",
@@ -35,19 +56,30 @@ __all__ = [
     "FetchResponse",
     "LookupRequest",
     "LookupResponse",
+    "MetricArchive",
     "MetricValues",
+    "OpenRequest",
+    "OpenResponse",
     "PCPStatus",
     "PMCD",
     "PMCDServer",
     "PMCDStats",
     "PMDA",
     "PMNS",
+    "PROTOCOL_VERSION",
+    "PcpSession",
     "PerfeventPMDA",
+    "PmLogger",
     "PmapiContext",
     "PmcdPMDA",
     "RemotePMCD",
+    "RemoteTransport",
     "ServiceStats",
+    "SessionLogger",
+    "connect",
     "make_pmid",
+    "negotiate_version",
     "pmid_domain",
+    "rates_from_records",
     "start_pmcd_for_node",
 ]

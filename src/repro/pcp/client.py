@@ -1,183 +1,33 @@
-"""Client-side PCP context (the libpcp/pmapi equivalent).
+"""Deprecated client-side PCP context (the libpcp/pmapi equivalent).
 
-User-space code — in particular the PAPI PCP component — talks to the
-daemon through a :class:`PmapiContext`. Each call is one daemon round
-trip: the client's node clock advances by the configured latency, so
-measurement windows taken through PCP are slightly longer than direct
-reads. That extra window (milliseconds) is the only systematic
-difference between the two paths and is swamped by kernel runtime for
-all but the smallest problems — the paper's accuracy result.
-
-The context also implements two service-layer behaviours:
-
-* **Lookup caching with generation invalidation** (opt-in via
-  ``cache_lookups=True``): resolved name→PMID bindings are served
-  locally with *no* round trip until the daemon's namespace
-  ``generation`` (carried on every response) changes. It is off by
-  default so that measurement sessions keep the exact round-trip
-  accounting of the seed — the golden-figure fixtures prove this.
-* **Gap detection**: every fetch response carries the daemon's
-  ``boot_id``. If it changes mid-session (daemon crash + restart), the
-  context increments :attr:`gaps` instead of silently splicing counter
-  epochs together; consumers like ``pmlogger`` mark the affected
-  sample so rate conversion skips the discontinuity.
+The session logic that lived here moved to :mod:`repro.pcp.session`
+when the three client entry points (``PmapiContext``, ``RemotePMCD``,
+``PmLogger``) were unified behind :func:`repro.pcp.connect`.
+:class:`PmapiContext` remains as a thin shim — same constructor, same
+behaviour, same accounting (it *is* a :class:`~repro.pcp.session.
+PcpSession`) — that warns on construction so existing call sites keep
+working while new code uses ``pcp.connect(...)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import Optional
 
-from ..errors import PCPError
 from ..machine.node import Node
-from .pmcd import PMCD
-from .protocol import (
-    ChildrenRequest,
-    ChildrenResponse,
-    FetchRequest,
-    FetchResponse,
-    LookupRequest,
-    LookupResponse,
-    PCPStatus,
-)
+from .session import PcpSession
 
 
-class PmapiContext:
-    """A connection from (unprivileged) user space to a PMCD."""
+class PmapiContext(PcpSession):
+    """Deprecated alias for :class:`~repro.pcp.session.PcpSession`.
 
-    def __init__(self, pmcd: PMCD, node: Optional[Node] = None,
+    Use ``repro.pcp.connect(pmcd, node=..., cache_lookups=...)``.
+    """
+
+    def __init__(self, pmcd, node: Optional[Node] = None,
                  cache_lookups: bool = False):
-        """``node`` is the machine whose clock pays the round trips;
-        pass None for a free-running client (no latency accounting).
-        ``cache_lookups`` serves repeated name resolution locally
-        (invalidated when the daemon's generation changes)."""
-        self.pmcd = pmcd
-        self.node = node
-        self.round_trips = 0
-        self.cache_lookups = cache_lookups
-        #: Lookups answered from the local cache (no round trip).
-        self.cached_lookups = 0
-        #: Daemon restarts observed mid-session (measurement gaps).
-        self.gaps = 0
-        self.last_fetch_timestamp: Optional[float] = None
-        self._lookup_cache: Dict[str, int] = {}
-        self._generation: Optional[int] = None
-        self._boot_id: Optional[int] = None
-
-    # ------------------------------------------------------------------
-    @property
-    def gap_detected(self) -> bool:
-        """True once a daemon restart has been observed."""
-        return self.gaps > 0
-
-    def _round_trip(self) -> None:
-        self.round_trips += 1
-        if self.node is not None and self.pmcd.round_trip_seconds > 0:
-            self.node.advance(self.pmcd.round_trip_seconds)
-
-    def _observe(self, response) -> None:
-        """Track the daemon's generation/boot id from any response."""
-        generation = getattr(response, "generation", None)
-        if generation is not None:
-            if self._generation is not None and generation != self._generation:
-                self._lookup_cache.clear()
-            self._generation = generation
-        boot_id = getattr(response, "boot_id", None)
-        if boot_id is not None:
-            if self._boot_id is not None and boot_id != self._boot_id:
-                self.gaps += 1
-            self._boot_id = boot_id
-
-    # ------------------------------------------------------------------
-    def lookup_names(self, names: Sequence[str]) -> List[int]:
-        """pmLookupName: resolve metric names to PMIDs."""
-        names = list(names)
-        if self.cache_lookups and names:
-            cached = [self._lookup_cache.get(name) for name in names]
-            if all(pmid is not None for pmid in cached):
-                self.cached_lookups += 1
-                return cached
-        self._round_trip()
-        response = self.pmcd.handle(LookupRequest(names=tuple(names)))
-        if not isinstance(response, LookupResponse):
-            raise PCPError(f"unexpected response: {response}")
-        self._observe(response)
-        if response.status != PCPStatus.OK:
-            bad = [n for n, s in zip(names, response.name_status)
-                   if s != PCPStatus.OK]
-            raise PCPError(f"unknown metric name(s): {bad}")
-        for name, pmid in zip(names, response.pmids):
-            self._lookup_cache[name] = pmid
-        return list(response.pmids)
-
-    def fetch(self, pmids: Sequence[int]) -> Dict[int, Dict[str, int]]:
-        """pmFetch: current values for each PMID, keyed by instance."""
-        self._round_trip()
-        response = self.pmcd.handle(FetchRequest(pmids=tuple(pmids)))
-        if not isinstance(response, FetchResponse):
-            raise PCPError(f"unexpected response: {response}")
-        self._observe(response)
-        if response.status != PCPStatus.OK:
-            raise PCPError(f"fetch failed: {response.status.name}")
-        self.last_fetch_timestamp = response.timestamp
-        return {m.pmid: dict(m.values) for m in response.metrics}
-
-    def fetch_one(self, name: str, instance: str) -> int:
-        """Convenience: one metric, one instance."""
-        pmid = self.lookup_names([name])[0]
-        values = self.fetch([pmid])[pmid]
-        try:
-            return values[instance]
-        except KeyError:
-            raise PCPError(
-                f"metric {name!r} has no instance {instance!r}; "
-                f"available: {sorted(values)}"
-            ) from None
-
-    def children(self, prefix: str = "") -> List[str]:
-        """pmGetChildren: names one level below ``prefix``."""
-        self._round_trip()
-        response = self.pmcd.handle(ChildrenRequest(prefix=prefix))
-        if not isinstance(response, ChildrenResponse):
-            raise PCPError(f"unexpected response: {response}")
-        self._observe(response)
-        if response.status != PCPStatus.OK:
-            raise PCPError(f"unknown PMNS prefix: {prefix!r}")
-        return list(response.children)
-
-    def traverse(self, prefix: str = "") -> List[str]:
-        """pmTraversePMNS: all metric names under ``prefix``.
-
-        Served from the daemon's PMNS in one round trip (the real
-        protocol batches the traversal similarly).
-        """
-        self._round_trip()
-        return list(self.pmcd.pmns.traverse(prefix))
-
-    # ------------------------------------------------------------------
-    def daemon_overhead(self) -> Dict[str, float]:
-        """Service-layer overhead counters for this client's path.
-
-        Merges client-side accounting (round trips, cache hits, gaps),
-        the daemon's own :class:`~repro.pcp.pmcd.PMCDStats`, and — for
-        TCP transports — the remote transport's latency/retry stats.
-        """
-        info: Dict[str, float] = {
-            "round_trips": self.round_trips,
-            "cached_lookups": self.cached_lookups,
-            "gaps": self.gaps,
-            "round_trip_seconds": self.pmcd.round_trip_seconds,
-            "latency_seconds": (self.round_trips
-                                * self.pmcd.round_trip_seconds),
-        }
-        stats = getattr(self.pmcd, "stats", None)
-        if stats is not None and hasattr(stats, "snapshot"):
-            info.update({f"pmcd.{k}": v for k, v in stats.snapshot().items()})
-        service = getattr(self.pmcd, "service_stats", None)
-        if service is not None:
-            info.update(
-                {f"service.{k}": v for k, v in service.snapshot().items()})
-        transport = getattr(self.pmcd, "transport_stats", None)
-        if callable(transport):
-            info.update(
-                {f"transport.{k}": v for k, v in transport().items()})
-        return info
+        warnings.warn(
+            "PmapiContext is deprecated; use repro.pcp.connect(...) "
+            "which returns a PcpSession",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(pmcd, node=node, cache_lookups=cache_lookups)

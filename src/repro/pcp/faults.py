@@ -30,6 +30,9 @@ class FaultKind(enum.Enum):
     #: Send only a prefix of the encoded PDU, then close (client sees
     #: a malformed line).
     TRUNCATE_PDU = "truncate_pdu"
+    #: Stall one PMDA shard read by ``seconds`` (the async fabric's
+    #: slow-agent scenario: one shard backs up, the rest keep serving).
+    SLOW_PMDA = "slow_pmda"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +47,11 @@ class FaultInjector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._plan: "collections.deque[FaultAction]" = collections.deque()
+        # SLOW_PMDA lives on its own queue: it is consumed at the
+        # PMDA-read site, not per served response, so arming it never
+        # perturbs the response-site plan ordering.
+        self._pmda_plan: "collections.deque[FaultAction]" = \
+            collections.deque()
         #: Total faults actually applied by the server.
         self.injected = 0
 
@@ -52,9 +60,10 @@ class FaultInjector:
                seconds: float = 0.0) -> None:
         if count < 1:
             return
+        plan = (self._pmda_plan if kind is FaultKind.SLOW_PMDA
+                else self._plan)
         with self._lock:
-            self._plan.extend(FaultAction(kind, seconds)
-                              for _ in range(count))
+            plan.extend(FaultAction(kind, seconds) for _ in range(count))
 
     def drop_connections(self, count: int = 1) -> None:
         self.inject(FaultKind.DROP_CONNECTION, count)
@@ -65,6 +74,9 @@ class FaultInjector:
     def truncate_pdus(self, count: int = 1) -> None:
         self.inject(FaultKind.TRUNCATE_PDU, count)
 
+    def slow_pmda(self, count: int = 1, seconds: float = 0.05) -> None:
+        self.inject(FaultKind.SLOW_PMDA, count, seconds=seconds)
+
     # ------------------------------------------------------------------
     def next_action(self) -> Optional[FaultAction]:
         """Pop the next scheduled fault (None when the plan is empty)."""
@@ -74,10 +86,19 @@ class FaultInjector:
             self.injected += 1
             return self._plan.popleft()
 
+    def next_pmda_action(self) -> Optional[FaultAction]:
+        """Pop the next scheduled PMDA-site fault (None when empty)."""
+        with self._lock:
+            if not self._pmda_plan:
+                return None
+            self.injected += 1
+            return self._pmda_plan.popleft()
+
     def pending(self) -> int:
         with self._lock:
-            return len(self._plan)
+            return len(self._plan) + len(self._pmda_plan)
 
     def clear(self) -> None:
         with self._lock:
             self._plan.clear()
+            self._pmda_plan.clear()

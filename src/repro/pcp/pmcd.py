@@ -34,6 +34,9 @@ from ..machine.node import Node
 from .pmda import PMDA, PerfeventPMDA, PmcdPMDA, pmid_domain
 from .pmns import PMNS
 from .protocol import (
+    ArchiveFetchRequest,
+    ArchiveFetchResponse,
+    ArchiveSample,
     ChildrenRequest,
     ChildrenResponse,
     ErrorResponse,
@@ -42,7 +45,10 @@ from .protocol import (
     LookupRequest,
     LookupResponse,
     MetricValues,
+    OpenRequest,
+    OpenResponse,
     PCPStatus,
+    negotiate_version,
 )
 
 
@@ -51,7 +57,7 @@ class PMCDStats:
 
     __slots__ = ("requests", "lookups", "fetches", "children", "errors",
                  "lookup_cache_hits", "lookup_cache_misses",
-                 "pmda_fetch_calls", "restarts")
+                 "pmda_fetch_calls", "restarts", "opens", "archive_fetches")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -66,6 +72,10 @@ class PMCDStats:
         #: coalesces concurrent fetches.
         self.pmda_fetch_calls = 0
         self.restarts = 0
+        #: v2 protocol handshakes served.
+        self.opens = 0
+        #: Archive replay requests served.
+        self.archive_fetches = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -92,6 +102,9 @@ class PMCD:
         #: Optional :class:`~repro.pcp.server.ServiceStats` attached by
         #: the TCP service layer (exported via pmcd.service.* metrics).
         self.service_stats = None
+        #: Optional :class:`~repro.pcp.archive.MetricArchive` serving
+        #: ArchiveFetchRequest replay (attach via :meth:`attach_archive`).
+        self.archive = None
         self._lookup_cache: Dict[Tuple[str, ...], LookupResponse] = {}
 
     # ------------------------------------------------------------------
@@ -106,6 +119,11 @@ class PMCD:
         for name, pmid in agent.metric_table():
             self.pmns.register(name, pmid)
         self._bump_generation()
+
+    def attach_archive(self, archive) -> None:
+        """Attach a :class:`~repro.pcp.archive.MetricArchive` so this
+        daemon answers archive-replay requests (v2 protocol)."""
+        self.archive = archive
 
     @property
     def agents(self) -> List[PMDA]:
@@ -146,6 +164,10 @@ class PMCD:
             return self._handle_fetch(request)
         if isinstance(request, ChildrenRequest):
             return self._handle_children(request)
+        if isinstance(request, OpenRequest):
+            return self._handle_open(request)
+        if isinstance(request, ArchiveFetchRequest):
+            return self._handle_archive_fetch(request)
         self.stats.errors += 1
         return ErrorResponse(PCPStatus.PM_ERR_PMID,
                              f"unknown request type {type(request).__name__}")
@@ -198,6 +220,41 @@ class PMCD:
                              metrics=tuple(metrics),
                              generation=self.generation,
                              boot_id=self.boot_id)
+
+    def _handle_open(self, request: OpenRequest) -> OpenResponse:
+        """v2 handshake: answer with the negotiated protocol version."""
+        self.stats.opens += 1
+        version = negotiate_version(request.version)
+        return OpenResponse(status=PCPStatus.OK, version=version,
+                            hostname=self.hostname,
+                            generation=self.generation,
+                            boot_id=self.boot_id)
+
+    def _handle_archive_fetch(self, request: ArchiveFetchRequest):
+        """v2 archive replay: serve records from the attached archive."""
+        self.stats.archive_fetches += 1
+        if self.archive is None:
+            return ArchiveFetchResponse(status=PCPStatus.PM_ERR_NODATA,
+                                        generation=self.generation)
+        try:
+            records = self.archive.records(
+                t0=request.t0, t1=request.t1,
+                metrics=list(request.metrics) or None)
+        except PCPError as exc:  # corruption: fail the request, not us
+            self.stats.errors += 1
+            return ErrorResponse(PCPStatus.PM_ERR_NODATA, str(exc))
+        samples = tuple(
+            ArchiveSample(
+                timestamp=record.timestamp,
+                values={f"{metric}|{instance}": value
+                        for (metric, instance), value
+                        in sorted(record.values.items())},
+                gap=record.gap,
+            )
+            for record in records
+        )
+        return ArchiveFetchResponse(status=PCPStatus.OK, samples=samples,
+                                    generation=self.generation)
 
     def _handle_children(self, request: ChildrenRequest) -> ChildrenResponse:
         self.stats.children += 1

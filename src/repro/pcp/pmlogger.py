@@ -1,124 +1,34 @@
-"""pmlogger: periodic archiving of PCP metrics.
+"""Deprecated pmlogger entry point.
 
-Real PCP deployments run ``pmlogger`` next to PMCD, sampling configured
-metrics on an interval into archives that tools replay later. The
-simulated logger does the same against a :class:`PmapiContext`: each
-``sample()`` costs one daemon round trip (charged to the client node's
-clock), records a timestamped snapshot, and the archive answers replay
-queries — including rate conversion between consecutive samples, which
-is how counter metrics like ``PM_MBA*_BYTES`` become bandwidth curves.
-
-Degraded mode: if the daemon restarts between samples (the client
-context observes a ``boot_id`` change), the next archive record is
-flagged ``gap=True``. Rate conversion never differentiates across a
-gap — a daemon crash yields a missing interval in the bandwidth curve
-instead of a corrupted one.
+The periodic-archiving logic moved to :class:`repro.pcp.session.
+SessionLogger` (start one with ``session.log(metrics, interval)``),
+and the on-disk archive format lives in :mod:`repro.pcp.archive`.
+:class:`PmLogger` remains as a thin shim — same constructor, same
+sampling/replay behaviour — that warns on construction. The
+:class:`~repro.pcp.archive.ArchiveRecord` dataclass is re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Sequence
 
-from ..errors import PCPError
-from .client import PmapiContext
-
-
-@dataclasses.dataclass(frozen=True)
-class ArchiveRecord:
-    """One timestamped sample of every logged metric instance."""
-
-    timestamp: float
-    values: Dict[Tuple[str, str], int]  # (metric, instance) -> value
-    #: True when the daemon restarted since the previous sample; the
-    #: interval ending at this record is unusable for rates.
-    gap: bool = False
+from .archive import ArchiveRecord  # noqa: F401 — re-exported
+from .session import SessionLogger
 
 
-class PmLogger:
-    """Samples a fixed metric set into an in-memory archive."""
+class PmLogger(SessionLogger):
+    """Deprecated alias for :class:`~repro.pcp.session.SessionLogger`.
 
-    def __init__(self, context: PmapiContext, metrics: Sequence[str],
+    Use ``session.log(metrics, interval_seconds)`` on a session from
+    ``repro.pcp.connect(...)``.
+    """
+
+    def __init__(self, context, metrics: Sequence[str],
                  interval_seconds: float = 1.0):
-        if not metrics:
-            raise PCPError("pmlogger needs at least one metric")
-        if interval_seconds <= 0:
-            raise PCPError("sampling interval must be positive")
-        self.context = context
-        self.metrics = list(metrics)
-        self.interval_seconds = interval_seconds
-        self._pmids = context.lookup_names(self.metrics)
-        self._gaps_seen = context.gaps
-        self.archive: List[ArchiveRecord] = []
-
-    # ------------------------------------------------------------------
-    def sample(self) -> ArchiveRecord:
-        """Take one sample now (one pmFetch round trip)."""
-        fetched = self.context.fetch(self._pmids)
-        gap = self.context.gaps > self._gaps_seen
-        if gap:
-            # Daemon restarted under us: re-resolve the metric names
-            # (the namespace generation changed) and mark the record.
-            self._gaps_seen = self.context.gaps
-            self._pmids = self.context.lookup_names(self.metrics)
-        values: Dict[Tuple[str, str], int] = {}
-        for metric, pmid in zip(self.metrics, self._pmids):
-            for instance, value in fetched[pmid].items():
-                values[(metric, instance)] = value
-        timestamp = (self.context.node.clock
-                     if self.context.node is not None
-                     else float(len(self.archive)))
-        record = ArchiveRecord(timestamp=timestamp, values=values, gap=gap)
-        self.archive.append(record)
-        return record
-
-    def run(self, n_samples: int) -> None:
-        """Sample ``n_samples`` times, idling ``interval_seconds``
-        between fetches (advancing the client node's clock)."""
-        for i in range(n_samples):
-            if i and self.context.node is not None:
-                self.context.node.advance(self.interval_seconds)
-            self.sample()
-
-    # ------------------------------------------------------------------
-    def series(self, metric: str, instance: str) -> List[Tuple[float, int]]:
-        """Replay one metric instance as (timestamp, value) pairs."""
-        key = (metric, instance)
-        out = [(rec.timestamp, rec.values[key])
-               for rec in self.archive if key in rec.values]
-        if not out:
-            raise PCPError(f"no archived data for {metric}[{instance}]")
-        return out
-
-    def rates(self, metric: str, instance: str) -> List[Tuple[float, float]]:
-        """Counter metric -> rate curve (PCP's rate conversion).
-
-        Intervals that end at a gap record (daemon restart) are
-        skipped: the record restarts the curve instead of producing a
-        bogus rate from mixed counter epochs.
-        """
-        key = (metric, instance)
-        out: List[Tuple[float, float]] = []
-        prev: Optional[ArchiveRecord] = None
-        for rec in self.archive:
-            if key not in rec.values:
-                continue
-            if rec.gap or prev is None:
-                prev = rec
-                continue
-            t0, t1 = prev.timestamp, rec.timestamp
-            if t1 <= t0:
-                raise PCPError("archive timestamps not increasing")
-            out.append((t1, (rec.values[key] - prev.values[key]) / (t1 - t0)))
-            prev = rec
-        return out
-
-    def instances_of(self, metric: str) -> List[str]:
-        for rec in self.archive:
-            found = sorted(inst for (m, inst) in rec.values if m == metric)
-            if found:
-                return found
-        return []
-
-    def __len__(self) -> int:
-        return len(self.archive)
+        warnings.warn(
+            "PmLogger is deprecated; use session.log(...) on a "
+            "PcpSession from repro.pcp.connect(...)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(context, metrics, interval_seconds)

@@ -23,6 +23,16 @@ bad JSON, a non-object, an unknown type, unexpected or missing fields,
 out-of-range status codes — raises :class:`~repro.errors.PCPError`,
 never ``KeyError``/``TypeError``, so a hostile or truncated byte
 stream cannot crash the daemon loop.
+
+**Protocol versioning.** Every PDU may carry a ``version`` field.
+Version 1 is the seed wire format; it is encoded *without* the field
+so that v1 peers (whose strict decoders reject unknown keys) keep
+interoperating, and a missing field always decodes as v1. Version 2
+adds the :class:`OpenRequest`/:class:`OpenResponse` handshake and the
+archive-replay PDUs. Peers negotiate down to the highest version both
+sides speak (:func:`negotiate_version`); a v2 client talking to a v1
+daemon receives an error for its ``OpenRequest`` and simply falls back
+to the v1 surface.
 """
 
 from __future__ import annotations
@@ -35,6 +45,16 @@ from typing import Dict, Tuple
 from ..errors import PCPError
 
 
+#: Highest protocol version this codec speaks. v1 = the seed wire
+#: format (no version field); v2 adds Open handshake + archive PDUs.
+PROTOCOL_VERSION = 2
+
+
+def negotiate_version(peer_version: int) -> int:
+    """Version both sides speak: min(ours, theirs), clamped to >= 1."""
+    return max(1, min(PROTOCOL_VERSION, int(peer_version)))
+
+
 class PCPStatus(enum.IntEnum):
     """Subset of PCP error codes (negative, like libpcp's PM_ERR_*)."""
 
@@ -44,6 +64,7 @@ class PCPStatus(enum.IntEnum):
     PM_ERR_INDOM_INST = -12361  # unknown instance
     PM_ERR_PERMISSION = -12387  # agent refused access
     PM_ERR_TIMEOUT = -12366    # request deadline exceeded
+    PM_ERR_NODATA = -12368     # no archive data in the window
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,6 +72,8 @@ class LookupRequest:
     """Resolve metric names to PMIDs (pmLookupName)."""
 
     names: Tuple[str, ...]
+    #: Wire protocol version; v1 PDUs omit the field on the wire.
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +84,7 @@ class LookupResponse:
     name_status: Tuple[PCPStatus, ...] = ()
     #: Daemon namespace generation (cache invalidation token).
     generation: int = 0
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +92,7 @@ class FetchRequest:
     """Fetch current values for a set of PMIDs (pmFetch)."""
 
     pmids: Tuple[int, ...]
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +112,7 @@ class FetchResponse:
     generation: int = 0
     #: Daemon incarnation serving this fetch; a change means restart.
     boot_id: int = 0
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +120,7 @@ class ChildrenRequest:
     """List the children of a PMNS node (pmGetChildren)."""
 
     prefix: str
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,12 +130,69 @@ class ChildrenResponse:
     #: True for leaf children (actual metrics).
     leaf_flags: Tuple[bool, ...] = ()
     generation: int = 0
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
 class ErrorResponse:
     status: PCPStatus
     detail: str = ""
+    version: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class OpenRequest:
+    """Protocol handshake (v2+): the client advertises its highest
+    protocol version; the daemon answers with the negotiated one. A
+    v1 daemon rejects the unknown PDU type with an :class:`
+    ErrorResponse`, which clients treat as "peer speaks v1"."""
+
+    version: int = PROTOCOL_VERSION
+
+
+@dataclasses.dataclass(frozen=True)
+class OpenResponse:
+    status: PCPStatus
+    #: The negotiated version (min of both peers').
+    version: int = 1
+    hostname: str = ""
+    generation: int = 0
+    boot_id: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchiveSample:
+    """One archived timestamped sample (v2 archive replay payload).
+
+    ``values`` is keyed ``"<metric>|<instance>"`` — flat so it JSON-
+    encodes without a nested schema.
+    """
+
+    timestamp: float
+    values: Dict[str, int]
+    gap: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchiveFetchRequest:
+    """Replay archived samples for ``metrics`` in ``[t0, t1]`` (v2).
+
+    ``t1 < 0`` means "no upper bound". Requires the daemon to have an
+    archive attached; daemons without one answer ``PM_ERR_NODATA``.
+    """
+
+    metrics: Tuple[str, ...]
+    t0: float = 0.0
+    t1: float = -1.0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchiveFetchResponse:
+    status: PCPStatus
+    samples: Tuple[ArchiveSample, ...] = ()
+    generation: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 Request = object  # any of the *Request dataclasses
@@ -124,11 +208,27 @@ def ok(status: PCPStatus) -> bool:
 
 _REQUEST_TYPES = {
     cls.__name__: cls
-    for cls in (LookupRequest, FetchRequest, ChildrenRequest)
+    for cls in (LookupRequest, FetchRequest, ChildrenRequest,
+                OpenRequest, ArchiveFetchRequest)
 }
 
 #: Fields decoded from JSON lists back into tuples.
-_TUPLE_FIELDS = ("names", "pmids")
+_TUPLE_FIELDS = ("names", "pmids", "metrics")
+
+#: Per-class field-name sets, computed once: ``dataclasses.fields`` is
+#: too slow to call per decoded PDU on the fabric's hot path.
+_FIELD_NAMES = {cls: frozenset(f.name for f in dataclasses.fields(cls))
+                for cls in _REQUEST_TYPES.values()}
+
+
+def _decode_version(data: dict, type_name) -> int:
+    """Pop and validate a PDU's version field (absent -> v1)."""
+    version = data.pop("version", 1)
+    if isinstance(version, bool) or not isinstance(version, int) \
+            or version < 1:
+        raise PCPError(
+            f"bad protocol version in {type_name} PDU: {version!r}")
+    return version
 
 
 def _load_pdu(line) -> dict:
@@ -148,11 +248,23 @@ def _load_pdu(line) -> dict:
 
 
 def encode_request(request) -> bytes:
+    if type(request) is FetchRequest:
+        # Hot path: fetches dominate fabric traffic. Key order matches
+        # the generic path exactly, so the bytes are identical.
+        payload = {"type": "FetchRequest", "pmids": list(request.pmids)}
+        if request.version != 1:
+            payload["version"] = request.version
+        return (json.dumps(payload) + "\n").encode("utf-8")
     name = type(request).__name__
     if name not in _REQUEST_TYPES:
         raise PCPError(f"cannot encode request type {name}")
     payload = {"type": name}
     payload.update(_dataclass_fields(request))
+    if payload.get("version") == 1:
+        # v1 PDUs stay byte-compatible with the seed wire format, so
+        # old peers (whose strict decoders reject unknown keys) still
+        # interoperate.
+        del payload["version"]
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
@@ -162,7 +274,14 @@ def decode_request(line):
     cls = _REQUEST_TYPES.get(type_name) if isinstance(type_name, str) else None
     if cls is None:
         raise PCPError(f"unknown request type in PDU: {type_name!r}")
-    field_names = {f.name for f in dataclasses.fields(cls)}
+    if (cls is FetchRequest and isinstance(data.get("pmids"), list)
+            and not (data.keys() - _FIELD_NAMES[cls])):
+        # Hot path for the well-formed case; anything unusual falls
+        # through to the strict generic decoder below.
+        return FetchRequest(pmids=tuple(data["pmids"]),
+                            version=_decode_version(data, type_name))
+    version = _decode_version(data, type_name)
+    field_names = _FIELD_NAMES[cls]
     unknown = sorted(set(data) - field_names)
     if unknown:
         # Reject explicitly: silently dropping fields would hide client
@@ -176,21 +295,38 @@ def decode_request(line):
                     f"field {field!r} of {type_name} PDU must be a list")
             data[field] = tuple(data[field])
     try:
-        return cls(**data)
+        return cls(version=version, **data)
     except TypeError as exc:  # missing required fields
         raise PCPError(f"malformed {type_name} PDU: {exc}") from None
 
 
 def encode_response(response) -> bytes:
+    if type(response) is FetchResponse:
+        # Hot path, byte-identical to the generic encoding.
+        payload = {
+            "type": "FetchResponse",
+            "status": response.status.value,
+            "timestamp": response.timestamp,
+            "metrics": [{"pmid": m.pmid, "values": m.values}
+                        for m in response.metrics],
+            "generation": response.generation,
+            "boot_id": response.boot_id,
+        }
+        if response.version != 1:
+            payload["version"] = response.version
+        return (json.dumps(payload) + "\n").encode("utf-8")
     name = type(response).__name__
     payload = {"type": name}
     payload.update(_dataclass_fields(response))
+    if payload.get("version") == 1:
+        del payload["version"]
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
 def decode_response(line):
     data = _load_pdu(line)
     name = data.pop("type", None)
+    version = _decode_version(data, name)
     try:
         if name == "LookupResponse":
             return LookupResponse(
@@ -198,6 +334,7 @@ def decode_response(line):
                 pmids=tuple(data["pmids"]),
                 name_status=tuple(PCPStatus(s) for s in data["name_status"]),
                 generation=int(data.get("generation", 0)),
+                version=version,
             )
         if name == "FetchResponse":
             return FetchResponse(
@@ -209,6 +346,7 @@ def decode_response(line):
                 ),
                 generation=int(data.get("generation", 0)),
                 boot_id=int(data.get("boot_id", 0)),
+                version=version,
             )
         if name == "ChildrenResponse":
             return ChildrenResponse(
@@ -216,11 +354,33 @@ def decode_response(line):
                 children=tuple(data["children"]),
                 leaf_flags=tuple(data["leaf_flags"]),
                 generation=int(data.get("generation", 0)),
+                version=version,
             )
         if name == "ErrorResponse":
             return ErrorResponse(
                 status=PCPStatus(data["status"]),
                 detail=data.get("detail", ""),
+                version=version,
+            )
+        if name == "OpenResponse":
+            return OpenResponse(
+                status=PCPStatus(data["status"]),
+                version=version,
+                hostname=str(data.get("hostname", "")),
+                generation=int(data.get("generation", 0)),
+                boot_id=int(data.get("boot_id", 0)),
+            )
+        if name == "ArchiveFetchResponse":
+            return ArchiveFetchResponse(
+                status=PCPStatus(data["status"]),
+                samples=tuple(
+                    ArchiveSample(timestamp=float(s["timestamp"]),
+                                  values=dict(s["values"]),
+                                  gap=bool(s.get("gap", False)))
+                    for s in data["samples"]
+                ),
+                generation=int(data.get("generation", 0)),
+                version=version,
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise PCPError(f"malformed {name} PDU: {exc}") from None

@@ -37,6 +37,7 @@ import socket
 import socketserver
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import PCPError, PCPTimeout
@@ -219,9 +220,15 @@ class PMCDServer:
             self._conns.add(conn)
 
     def _unregister_conn(self, conn) -> None:
-        self.stats.bump("disconnects")
+        # Idempotent: a fault-injected drop can race the client's retry
+        # teardown so both the handler unwind and the connection-drop
+        # path unregister the same socket — count one disconnect per
+        # socket close, not per caller.
         with self._conn_lock:
+            was_registered = conn in self._conns
             self._conns.discard(conn)
+        if was_registered:
+            self.stats.bump("disconnects")
 
     def _drop_all_connections(self) -> None:
         with self._conn_lock:
@@ -343,14 +350,15 @@ class PMCDServer:
                 member.ready.set()
 
 
-class RemotePMCD:
+class RemoteTransport:
     """Client-side stand-in for a PMCD reached over TCP.
 
-    Duck-types the surface :class:`~repro.pcp.client.PmapiContext`
+    Duck-types the surface :class:`~repro.pcp.session.PcpSession`
     uses (``handle``, ``pmns``, ``round_trip_seconds``), so the whole
     PAPI PCP component works unchanged across the socket. ``pmns``
     access is served by traversing the remote namespace via
-    ChildrenRequest PDUs.
+    ChildrenRequest PDUs. Sessions normally obtain one through
+    ``repro.pcp.connect(("host", port))`` rather than directly.
 
     Fault tolerance: each request has a deadline
     (``request_timeout``); a timed-out or failed request is retried up
@@ -489,10 +497,25 @@ class RemotePMCD:
         self._teardown()
 
 
+class RemotePMCD(RemoteTransport):
+    """Deprecated alias for :class:`RemoteTransport`.
+
+    Use ``repro.pcp.connect(("host", port), ...)`` which dials the
+    transport and returns a session in one call.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "RemotePMCD is deprecated; use repro.pcp.connect((host, "
+            "port)) or RemoteTransport",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
+
+
 class _RemotePMNS:
     """Remote PMNS traversal via ChildrenRequest PDUs."""
 
-    def __init__(self, remote: RemotePMCD):
+    def __init__(self, remote: RemoteTransport):
         self._remote = remote
 
     def traverse(self, prefix: str = ""):

@@ -1,7 +1,7 @@
 """Concurrency stress harness for the PCP service layer.
 
-Drives N concurrent :class:`~repro.pcp.client.PmapiContext` clients —
-each over its own TCP :class:`~repro.pcp.server.RemotePMCD` transport
+Drives N concurrent :class:`~repro.pcp.session.PcpSession` clients —
+each over its own TCP :class:`~repro.pcp.server.RemoteTransport`
 — against one live :class:`~repro.pcp.server.PMCDServer`, and verifies
 the service invariants as it goes:
 
@@ -26,10 +26,10 @@ from ..machine.config import get_machine
 from ..machine.node import Node
 from ..noise import QUIET
 from ..pmu.events import pcp_metric_name
-from .client import PmapiContext
 from .faults import FaultInjector
 from .pmcd import start_pmcd_for_node
-from .server import PMCDServer, RemotePMCD
+from .server import PMCDServer, RemoteTransport
+from .session import PcpSession
 
 
 def run_stress(n_clients: int = 8, n_fetches: int = 32,
@@ -72,10 +72,11 @@ def run_stress(n_clients: int = 8, n_fetches: int = 32,
                                      write=bool(index % 2))
         remote = None
         try:
-            remote = RemotePMCD(*server.address, round_trip_seconds=0.0,
-                                auto_reconnect=True, max_retries=3,
-                                backoff_base_seconds=0.005)
-            context = PmapiContext(remote, node=None, cache_lookups=True)
+            remote = RemoteTransport(*server.address,
+                                     round_trip_seconds=0.0,
+                                     auto_reconnect=True, max_retries=3,
+                                     backoff_base_seconds=0.005)
+            context = PcpSession(remote, node=None, cache_lookups=True)
             shared_pmids = context.lookup_names(shared_metrics)
             own_pmid = context.lookup_names([own_metric])[0]
             barrier.wait()

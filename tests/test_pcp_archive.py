@@ -1,0 +1,319 @@
+"""On-disk metric archive: durability, crash recovery, maintenance.
+
+The archive is the fabric's pmlogger subsystem; its contract is that
+replay is indistinguishable from having watched the live samples, no
+matter how the writer died or how many times the volumes were rotated,
+retained or compacted in between.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ArchiveCorruptionError, ArchiveError, PCPError
+from repro.pcp.archive import (
+    ArchiveRecord,
+    MetricArchive,
+    _encode_record,
+    rates_from_records,
+)
+
+METRIC = "perfevent.hwcounters.nest_mcs01.reads.value"
+
+
+def make_record(i, value=None, gap=False):
+    return ArchiveRecord(
+        timestamp=float(i),
+        values={(METRIC, "cpu87"): 1000 * i if value is None else value},
+        gap=gap)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    with MetricArchive.create(str(tmp_path / "arch"),
+                              hostname="simnode",
+                              volume_records=4) as arch:
+        yield arch
+
+
+class TestRoundTrip:
+    def test_append_replay(self, archive):
+        for i in range(1, 11):
+            archive.append(make_record(i))
+        records = archive.records()
+        assert [r.timestamp for r in records] == [float(i)
+                                                 for i in range(1, 11)]
+        assert records[0].values[(METRIC, "cpu87")] == 1000
+
+    def test_auto_rotation_seals_volumes(self, archive):
+        for i in range(1, 11):
+            archive.append(make_record(i))
+        # volume_records=4 -> two sealed volumes + a 2-record tail.
+        assert len(archive.volumes) == 2
+        assert all(v.records == 4 for v in archive.volumes)
+        assert len(archive) == 10
+
+    def test_reopen_replays_identically(self, archive):
+        for i in range(1, 8):
+            archive.append(make_record(i))
+        before = archive.records()
+        archive.close()
+        reopened = MetricArchive.open(archive.path)
+        assert reopened.records() == before
+        assert reopened.hostname == "simnode"
+
+    def test_series_and_window(self, archive):
+        for i in range(1, 9):
+            archive.append(make_record(i))
+        series = archive.series(METRIC, "cpu87")
+        assert series[0] == (1.0, 1000)
+        windowed = archive.records(t0=3.0, t1=5.0)
+        assert [r.timestamp for r in windowed] == [3.0, 4.0, 5.0]
+
+    def test_rates_match_shared_helper(self, archive):
+        for i in range(1, 6):
+            archive.append(make_record(i))
+        assert archive.rates(METRIC, "cpu87") == rates_from_records(
+            archive.records(), METRIC, "cpu87")
+        assert all(rate == pytest.approx(1000.0)
+                   for _, rate in archive.rates(METRIC, "cpu87"))
+
+    def test_gap_records_restart_rate_curve(self, archive):
+        for i in range(1, 7):
+            archive.append(make_record(i, gap=(i == 4)))
+        rates = archive.rates(METRIC, "cpu87")
+        # The interval ending at the gap record (t=4) is unusable; the
+        # gap record then baselines the next interval.
+        assert [t for t, _ in rates] == [2.0, 3.0, 5.0, 6.0]
+
+    def test_pipe_in_names_rejected(self, archive):
+        with pytest.raises(ArchiveError):
+            archive.append(ArchiveRecord(
+                timestamp=1.0, values={("a|b", "cpu87"): 1}))
+
+
+class TestCrashRecovery:
+    def _seed(self, tmp_path, n=6):
+        arch = MetricArchive.create(str(tmp_path / "arch"),
+                                    volume_records=4)
+        for i in range(1, n + 1):
+            arch.append(make_record(i))
+        # Simulate a crash: no close(), no final index write.
+        if arch._tail_fh is not None:
+            arch._tail_fh.flush()
+        return arch.path
+
+    def test_open_after_crash_keeps_all_records(self, tmp_path):
+        path = self._seed(tmp_path)
+        arch = MetricArchive.open(path)
+        assert [r.timestamp for r in arch.records()] == [
+            float(i) for i in range(1, 7)]
+
+    def test_partial_tail_line_truncated(self, tmp_path):
+        path = self._seed(tmp_path)
+        tail = os.path.join(path, "volume.00001.jsonl")
+        with open(tail, "ab") as fh:
+            fh.write(b'deadbeef {"t": 99')  # torn mid-append
+        arch = MetricArchive.open(path)
+        assert [r.timestamp for r in arch.records()] == [
+            float(i) for i in range(1, 7)]
+        # The torn bytes are physically gone: the tail is writable again.
+        assert os.path.getsize(tail) > 0
+
+    def test_corrupt_tail_record_truncated(self, tmp_path):
+        path = self._seed(tmp_path)
+        tail = os.path.join(path, "volume.00001.jsonl")
+        with open(tail, "ab") as fh:
+            fh.write(b"00000000 {}\n")  # checksum mismatch
+        arch = MetricArchive.open(path)
+        assert len(arch.records()) == 6
+
+    def test_append_resumes_after_recovery(self, tmp_path):
+        path = self._seed(tmp_path)
+        arch = MetricArchive.open(path)
+        arch.append(make_record(7))
+        arch.close()
+        assert len(MetricArchive.open(path).records()) == 7
+
+    def test_vanished_tail_restarts_empty(self, tmp_path):
+        path = self._seed(tmp_path)
+        os.unlink(os.path.join(path, "volume.00001.jsonl"))
+        arch = MetricArchive.open(path)
+        # The sealed volume survives; only the unsealed tail is lost.
+        assert [r.timestamp for r in arch.records()] == [
+            1.0, 2.0, 3.0, 4.0]
+        arch.append(make_record(9))
+        assert len(arch.records()) == 5
+
+    def test_open_non_archive_raises(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            MetricArchive.open(str(tmp_path))
+
+
+class TestCorruptionDetection:
+    def _sealed(self, tmp_path):
+        arch = MetricArchive.create(str(tmp_path / "arch"),
+                                    volume_records=3)
+        for i in range(1, 10):
+            arch.append(make_record(i))
+        arch.rotate()
+        return arch
+
+    def test_bit_flip_detected_strict(self, tmp_path):
+        arch = self._sealed(tmp_path)
+        victim = os.path.join(arch.path, arch.volumes[0].name)
+        with open(victim, "r+b") as fh:
+            fh.seek(15)
+            byte = fh.read(1)
+            fh.seek(15)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(ArchiveCorruptionError):
+            arch.records()
+        assert arch.volumes[0].name in arch.verify()
+
+    def test_bit_flip_quarantined_non_strict(self, tmp_path):
+        arch = self._sealed(tmp_path)
+        victim = os.path.join(arch.path, arch.volumes[1].name)
+        with open(victim, "r+b") as fh:
+            fh.seek(15)
+            byte = fh.read(1)
+            fh.seek(15)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        survivors = arch.records(strict=False)
+        assert arch.quarantined == [arch.volumes[1].name]
+        # Only the corrupt volume's 3 records are lost.
+        assert len(survivors) == 6
+
+    def test_missing_volume_detected(self, tmp_path):
+        arch = self._sealed(tmp_path)
+        os.unlink(os.path.join(arch.path, arch.volumes[0].name))
+        with pytest.raises(ArchiveCorruptionError):
+            arch.records()
+
+    def test_record_count_mismatch_detected(self, tmp_path):
+        arch = self._sealed(tmp_path)
+        victim = os.path.join(arch.path, arch.volumes[0].name)
+        extra = _encode_record(make_record(99))
+        with open(victim, "a", encoding="utf-8") as fh:
+            fh.write(extra)
+        with pytest.raises(ArchiveCorruptionError):
+            arch.records()
+
+
+class TestMaintenance:
+    def _filled(self, tmp_path, n=12, volume_records=3):
+        arch = MetricArchive.create(str(tmp_path / "arch"),
+                                    volume_records=volume_records)
+        for i in range(1, n + 1):
+            arch.append(make_record(i))
+        return arch
+
+    def test_retain_max_volumes_drops_oldest(self, tmp_path):
+        arch = self._filled(tmp_path)  # 3 sealed + 3-record tail
+        dropped = arch.retain(max_volumes=1)
+        assert dropped == ["volume.00000.jsonl", "volume.00001.jsonl"]
+        assert [r.timestamp for r in arch.records()] == [
+            float(i) for i in range(7, 13)]
+        for name in dropped:
+            assert not os.path.exists(os.path.join(arch.path, name))
+
+    def test_retain_max_records_counts_tail(self, tmp_path):
+        arch = self._filled(tmp_path)
+        arch.retain(max_records=7)
+        # Tail (3 records) is never dropped; sealed volumes go oldest
+        # first until <= 7 records remain.
+        assert len(arch) == 6
+
+    def test_retain_never_drops_tail(self, tmp_path):
+        arch = self._filled(tmp_path)
+        arch.retain(max_volumes=0, max_records=0)
+        assert len(arch) == 3  # the unsealed tail survives
+        assert arch.volumes == []
+
+    def test_retain_noop_returns_empty(self, tmp_path):
+        arch = self._filled(tmp_path)
+        assert arch.retain(max_volumes=10) == []
+
+    def test_retain_survives_reopen(self, tmp_path):
+        arch = self._filled(tmp_path)
+        arch.retain(max_volumes=1)
+        arch.close()
+        assert len(MetricArchive.open(arch.path).records()) == 6
+
+    def test_compact_preserves_replay(self, tmp_path):
+        arch = self._filled(tmp_path)
+        before_records = arch.records()
+        before_rates = arch.rates(METRIC, "cpu87")
+        name = arch.compact()
+        assert name is not None
+        assert len(arch.volumes) == 1
+        assert arch.records() == before_records
+        assert arch.rates(METRIC, "cpu87") == before_rates
+        assert not arch.verify()
+
+    def test_compact_single_volume_noop(self, tmp_path):
+        arch = self._filled(tmp_path, n=3)
+        arch.rotate()
+        assert arch.compact() is None
+
+    def test_compact_then_append_then_reopen(self, tmp_path):
+        arch = self._filled(tmp_path)
+        arch.compact()
+        arch.append(make_record(13))
+        arch.close()
+        reopened = MetricArchive.open(arch.path)
+        assert [r.timestamp for r in reopened.records()] == [
+            float(i) for i in range(1, 14)]
+
+    def test_closed_archive_refuses_writes(self, tmp_path):
+        arch = self._filled(tmp_path, n=2)
+        arch.close()
+        with pytest.raises(ArchiveError):
+            arch.append(make_record(3))
+        with pytest.raises(ArchiveError):
+            arch.retain(max_volumes=0)
+        arch.close()  # idempotent
+
+    def test_empty_tail_not_sealed(self, tmp_path):
+        arch = MetricArchive.create(str(tmp_path / "arch"))
+        arch.rotate()
+        arch.close()
+        assert arch.volumes == []
+
+
+class TestIndexDurability:
+    def test_index_is_valid_json_after_every_rotate(self, tmp_path):
+        arch = MetricArchive.create(str(tmp_path / "arch"),
+                                    volume_records=2)
+        for i in range(1, 7):
+            arch.append(make_record(i))
+            with open(os.path.join(arch.path, "index.json")) as fh:
+                index = json.load(fh)
+            assert index["format"] == 1
+        arch.close()
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        arch = MetricArchive.create(str(tmp_path / "arch"),
+                                    volume_records=2)
+        for i in range(1, 9):
+            arch.append(make_record(i))
+        arch.compact()
+        arch.close()
+        leftovers = [n for n in os.listdir(arch.path)
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestRatesFromRecords:
+    def test_non_increasing_timestamps_rejected(self):
+        records = [make_record(2), make_record(2)]
+        with pytest.raises(PCPError):
+            rates_from_records(records, METRIC, "cpu87")
+
+    def test_missing_instance_skipped(self):
+        records = [make_record(1),
+                   ArchiveRecord(timestamp=2.0, values={}),
+                   make_record(3)]
+        rates = rates_from_records(records, METRIC, "cpu87")
+        assert rates == [(3.0, pytest.approx(1000.0))]

@@ -96,6 +96,101 @@ class TestResponseRoundTrip:
         assert decode_response(encode_response(response)) == response
 
 
+class TestVersionedPDUs:
+    """Protocol-version negotiation and wire compatibility (v2)."""
+
+    versions = st.integers(min_value=1, max_value=9)
+
+    @given(st.lists(pmids, max_size=16).map(tuple), versions)
+    @settings(max_examples=50, deadline=None)
+    def test_versioned_fetch_request_round_trip(self, ids, version):
+        request = protocol.FetchRequest(pmids=ids, version=version)
+        assert decode_request(encode_request(request)) == request
+
+    @given(st.lists(metric_names, max_size=8).map(tuple), versions)
+    @settings(max_examples=50, deadline=None)
+    def test_versioned_lookup_request_round_trip(self, names, version):
+        request = protocol.LookupRequest(names=names, version=version)
+        assert decode_request(encode_request(request)) == request
+
+    @given(statuses, st.floats(min_value=0, max_value=1e9,
+                               allow_nan=False),
+           st.lists(st.tuples(pmids, instance_values), max_size=4),
+           versions)
+    @settings(max_examples=50, deadline=None)
+    def test_versioned_fetch_response_round_trip(self, status, timestamp,
+                                                 metrics, version):
+        response = protocol.FetchResponse(
+            status=status, timestamp=timestamp,
+            metrics=tuple(protocol.MetricValues(pmid=p, values=v)
+                          for p, v in metrics),
+            version=version)
+        assert decode_response(encode_response(response)) == response
+
+    @given(versions)
+    @settings(max_examples=20, deadline=None)
+    def test_open_handshake_round_trip(self, version):
+        request = protocol.OpenRequest(version=version)
+        assert decode_request(encode_request(request)) == request
+        response = protocol.OpenResponse(
+            status=protocol.PCPStatus.OK, version=version,
+            hostname="simnode", generation=3, boot_id=2)
+        assert decode_response(encode_response(response)) == response
+
+    @given(st.lists(metric_names, min_size=1, max_size=4).map(tuple),
+           st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=-1, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_archive_fetch_round_trip(self, metrics, t0, t1):
+        request = protocol.ArchiveFetchRequest(metrics=metrics,
+                                               t0=t0, t1=t1)
+        assert decode_request(encode_request(request)) == request
+        response = protocol.ArchiveFetchResponse(
+            status=protocol.PCPStatus.OK,
+            samples=(protocol.ArchiveSample(
+                timestamp=t0, values={f"{m}|cpu87": 1 for m in metrics}),),
+            generation=1)
+        assert decode_response(encode_response(response)) == response
+
+    def test_v1_pdus_omit_version_on_wire(self):
+        # Old peers' strict decoders reject unknown keys, so v1 PDUs
+        # must stay byte-compatible with the seed wire format.
+        for pdu, codec in (
+                (protocol.FetchRequest(pmids=(1, 2)), encode_request),
+                (protocol.LookupRequest(names=("a",)), encode_request),
+                (protocol.FetchResponse(status=protocol.PCPStatus.OK,
+                                        timestamp=1.0), encode_response),
+                (protocol.ErrorResponse(status=protocol.PCPStatus.OK),
+                 encode_response)):
+            assert b"version" not in codec(pdu), pdu
+
+    def test_v2_pdus_carry_version_on_wire(self):
+        line = encode_request(protocol.FetchRequest(pmids=(1,),
+                                                    version=2))
+        assert json.loads(line)["version"] == 2
+
+    def test_missing_version_decodes_as_v1(self):
+        decoded = decode_request(b'{"type": "FetchRequest", "pmids": [1]}')
+        assert decoded.version == 1
+
+    @given(st.none() | st.booleans() | st.floats() | st.text(max_size=4)
+           | st.integers(max_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_bad_version_rejected(self, version):
+        line = json.dumps({"type": "FetchRequest", "pmids": [1],
+                           "version": version}).encode()
+        with pytest.raises(PCPError):
+            decode_request(line)
+
+    @given(st.integers(min_value=-5, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_negotiate_version_bounds(self, peer):
+        negotiated = protocol.negotiate_version(peer)
+        assert 1 <= negotiated <= protocol.PROTOCOL_VERSION
+        if 1 <= peer <= protocol.PROTOCOL_VERSION:
+            assert negotiated == peer
+
+
 class TestMalformedLines:
     """Malformed input raises PCPError — never KeyError/TypeError."""
 
