@@ -1,0 +1,180 @@
+"""Self-tuning execution layer: perf gates and exactness gates.
+
+Two claims (DESIGN.md §6.5), one benchmark each:
+
+* ``autotune-pipeline`` — on GEMM N=256 with the default worker pool,
+  enabling the feedback controller (AIMD segment sizing + sorted
+  shard spans + worker affinity) must raise end-to-end pipeline
+  throughput by at least 1.3x over the static default, with
+  byte-identical traffic. The speedup gate only arms on multi-core
+  hosts (>= 2 CPUs and a real worker pool); on a single CPU the
+  pipeline is producer-bound by construction and the speedup rides
+  along as ``info_``.
+
+* ``autotune-sampling-replay`` — the vectorized segment replay of the
+  sampling observer must run ``observe`` at least 3x faster than the
+  scalar slice-per-sample oracle at period 8, with *bit-identical*
+  estimator output (the scalar path stays in the tree exactly to make
+  this differential cheap to assert forever).
+
+Both benchmarks always run the static/scalar reference alongside the
+tuned path, so every ``info_`` wall in the frozen baseline stays
+comparable across machines.
+"""
+
+import os
+import time
+
+from repro.bench import benchmark
+from repro.engine.pipeline import PipelinedExactEngine
+from repro.kernels import Gemm
+from repro.machine.config import CacheConfig
+from repro.measure import format_table
+from repro.papi.sampling import SamplingConfig, SamplingObserver
+from repro.units import KIB, MIB
+
+CACHE = CacheConfig(capacity_bytes=4 * MIB)
+N = 256
+REQUIRED_SPEEDUP = 1.3
+
+SAMPLE_N = 64
+SAMPLE_CACHE_KIB = 128
+SAMPLE_PERIOD = 8
+REQUIRED_REPLAY_SPEEDUP = 3.0
+
+
+def _rel_dev(got: int, ref: int) -> float:
+    return abs(got - ref) / ref if ref else float(got != ref)
+
+
+@benchmark("autotune-pipeline", tags=("engine", "pipeline", "autotune",
+                                      "perf"))
+def bench_autotune_pipeline(ctx):
+    kernel = Gemm(N)
+
+    t0 = time.perf_counter()
+    with PipelinedExactEngine(CACHE, autotune=False) as eng:
+        static = eng.run_kernel(kernel)
+    t_static = time.perf_counter() - t0
+    static_stats = eng.last_pipeline_stats
+
+    t0 = time.perf_counter()
+    with PipelinedExactEngine(CACHE, autotune=True) as eng:
+        tuned = eng.run_kernel(kernel)
+    t_tuned = time.perf_counter() - t0
+    stats = eng.last_pipeline_stats
+
+    speedup = t_static / t_tuned if t_tuned else 0.0
+    # The speedup gate needs real parallelism: with one CPU (or an
+    # inline fallback pool) the producer is the bottleneck either way
+    # and the controller can only tie. Keep the gate disarmed there so
+    # the frozen baseline stays portable; CI runs multi-core.
+    gate_armed = ((os.cpu_count() or 1) >= 2
+                  and stats["mode"] == "pool"
+                  and stats["n_workers"] >= 2)
+    cpus = stats.get("worker_cpus")
+    ctx.log(format_table(
+        ["path", "seconds", "segment rows", "read bytes", "write bytes"],
+        [["static default", round(t_static, 3),
+          static_stats["segment_rows"], static.read_bytes,
+          static.write_bytes],
+         ["autotuned", round(t_tuned, 3),
+          stats.get("final_segment_rows", stats["segment_rows"]),
+          tuned.read_bytes, tuned.write_bytes]],
+        title=f"[autotune] GEMM N={N} ({stats['rows']:,} accesses), "
+              f"speedup {speedup:.2f}x "
+              f"({'gated' if gate_armed else 'info-only'}), "
+              f"occupancy {stats.get('mean_ring_occupancy', 0.0):.2f}, "
+              f"workers {'pinned' if cpus else 'unpinned'}"))
+    return {
+        "rows_macc": stats["rows"] / 1e6,
+        # One-sided gate: 0 while autotuning clears the required 1.3x
+        # over the static default (multi-core only; see above).
+        "autotune_speedup_shortfall_gap": (
+            max(0.0, (REQUIRED_SPEEDUP - speedup) / REQUIRED_SPEEDUP)
+            if gate_armed else 0.0),
+        # Exactness: the controller must not move a byte.
+        "autotune_read_dev": _rel_dev(tuned.read_bytes,
+                                      static.read_bytes),
+        "autotune_write_dev": _rel_dev(tuned.write_bytes,
+                                       static.write_bytes),
+        # Observability, never gated (machine-dependent).
+        "info_speedup": speedup,
+        "info_static_wall_s": t_static,
+        "info_tuned_wall_s": t_tuned,
+        "info_final_segment_rows": float(
+            stats.get("final_segment_rows", stats["segment_rows"])),
+        "info_mean_ring_occupancy": stats.get(
+            "mean_ring_occupancy", 0.0),
+        "info_tuning_decisions": float(
+            len(stats.get("tuning_trace", []))),
+        "info_workers_pinned": 1.0 if cpus else 0.0,
+    }
+
+
+@benchmark("autotune-sampling-replay", tags=("papi", "sampling",
+                                             "autotune", "perf"))
+def bench_autotune_sampling(ctx):
+    kernel = Gemm(SAMPLE_N)
+    cache = CacheConfig(capacity_bytes=SAMPLE_CACHE_KIB * KIB)
+
+    results = {}
+    for label, vectorized in (("scalar", False), ("vectorized", True)):
+        observer = SamplingObserver(
+            cache, kernel.streams(),
+            SamplingConfig(period=SAMPLE_PERIOD, seed=ctx.seed),
+            vectorized=vectorized)
+        t0 = time.perf_counter()
+        observer.observe_kernel(kernel)
+        results[label] = (observer, time.perf_counter() - t0)
+
+    scalar, t_scalar = results["scalar"]
+    vector, t_vector = results["vectorized"]
+    speedup = t_scalar / t_vector if t_vector else 0.0
+    s_est = scalar.estimated_traffic()
+    v_est = vector.estimated_traffic()
+    ctx.log(format_table(
+        ["replay", "seconds", "samples", "slices", "est read B",
+         "est write B"],
+        [["scalar", round(t_scalar, 3), scalar.n_samples,
+          scalar.slices, round(s_est.read_bytes), round(s_est.write_bytes)],
+         ["vectorized", round(t_vector, 3), vector.n_samples,
+          vector.slices, round(v_est.read_bytes),
+          round(v_est.write_bytes)]],
+        title=f"[autotune] sampling GEMM N={SAMPLE_N}, "
+              f"{SAMPLE_CACHE_KIB} KiB cache, period {SAMPLE_PERIOD}: "
+              f"replay speedup {speedup:.2f}x"))
+    return {
+        # One-sided gate: 0 while the vectorized replay clears 3x.
+        "replay_speedup_shortfall_gap": max(
+            0.0, (REQUIRED_REPLAY_SPEEDUP - speedup)
+            / REQUIRED_REPLAY_SPEEDUP),
+        # Bit-identical estimators: any deviation regresses.
+        "replay_read_dev": _rel_dev(v_est.read_bytes, s_est.read_bytes),
+        "replay_write_dev": _rel_dev(v_est.write_bytes,
+                                     s_est.write_bytes),
+        "replay_sample_dev": _rel_dev(vector.n_samples,
+                                      scalar.n_samples),
+        "sample_fraction": (scalar.n_samples
+                            / scalar.accesses_observed),
+        # Observability, never gated.
+        "info_speedup": speedup,
+        "info_scalar_wall_s": t_scalar,
+        "info_vectorized_wall_s": t_vector,
+        "info_vectorized_slices": float(vector.slices),
+    }
+
+
+def test_autotune_pipeline_exact(run_bench):
+    _, metrics = run_bench(bench_autotune_pipeline)
+    assert metrics["autotune_read_dev"] == 0.0
+    assert metrics["autotune_write_dev"] == 0.0
+    assert metrics["autotune_speedup_shortfall_gap"] == 0.0
+
+
+def test_autotune_sampling_bit_identical(run_bench):
+    _, metrics = run_bench(bench_autotune_sampling)
+    assert metrics["replay_read_dev"] == 0.0
+    assert metrics["replay_write_dev"] == 0.0
+    assert metrics["replay_sample_dev"] == 0.0
+    assert metrics["replay_speedup_shortfall_gap"] == 0.0

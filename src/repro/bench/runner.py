@@ -102,6 +102,7 @@ def _worker_run(source, name, seed, started, profile_dir=None):
         load_script(Path(source))
         spec = get_benchmark(name)
         record["tags"] = list(spec.tags)
+        cpu0 = _cpu_seconds()
         begun = time.perf_counter()
         if profile_dir is not None:
             import cProfile
@@ -118,13 +119,34 @@ def _worker_run(source, name, seed, started, profile_dir=None):
                 record["profile"] = str(prof_path)
         else:
             metrics = spec.run(BenchContext(seed))
-        record["wall_s"] = time.perf_counter() - begun
+        wall = time.perf_counter() - begun
+        cpu1 = _cpu_seconds()
+        record["wall_s"] = wall
+        if cpu0 is not None and cpu1 is not None and wall > 0:
+            # CPU seconds burned per wall second, counting reaped
+            # children (a pipelined benchmark's workers do their CPU
+            # work in child processes). > 1.0 means real parallelism;
+            # informational only, never gated.
+            metrics = dict(metrics)
+            metrics["info_cpu_util"] = round((cpu1 - cpu0) / wall, 4)
         record["metrics"] = metrics
         record["status"] = "ok"
     except Exception:
         record["error"] = traceback.format_exc(limit=20)
     record["peak_rss_kb"] = _peak_rss_kb()
     return record
+
+
+def _cpu_seconds() -> Optional[float]:
+    """User+system CPU seconds of this process and reaped children."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    own = resource.getrusage(resource.RUSAGE_SELF)
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return (own.ru_utime + own.ru_stime
+            + kids.ru_utime + kids.ru_stime)
 
 
 def _peak_rss_kb() -> Optional[int]:

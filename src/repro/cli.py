@@ -361,9 +361,11 @@ def _run_trace_store(argv: List[str]) -> int:
 
 def build_pipeline_parser() -> argparse.ArgumentParser:
     from .engine.envconfig import (
+        AUTOTUNE_ENV,
         N_SHARDS_ENV,
         RING_DEPTH_ENV,
         SEGMENT_ROWS_ENV,
+        TARGET_OCCUPANCY_ENV,
     )
 
     parser = argparse.ArgumentParser(
@@ -394,6 +396,20 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ring-depth", type=int, default=None,
                         help="segment slots in the shared ring "
                              f"(default: ${RING_DEPTH_ENV} or 4)")
+    parser.add_argument("--autotune", action="store_true",
+                        help="enable the self-tuning execution layer: "
+                             "AIMD segment sizing steered by ring "
+                             "occupancy, worker CPU affinity, and "
+                             f"sorted shard spans (default: "
+                             f"${AUTOTUNE_ENV} or off)")
+    parser.add_argument("--target-occupancy", type=float, default=None,
+                        help="ring-occupancy setpoint in (0, 1] for "
+                             "the segment-size controller (default: "
+                             f"${TARGET_OCCUPANCY_ENV} or 0.75)")
+    parser.add_argument("--tuning-trace-out", default=None,
+                        help="write the controller's (seq, rows, "
+                             "occupancy) tuning trace to this JSON "
+                             "file (CI artifact)")
     parser.add_argument("--compare-sequential", action="store_true",
                         help="also run the sequential generate-then-"
                              "simulate path (ShardedExactEngine) and "
@@ -455,6 +471,11 @@ def build_sample_parser() -> argparse.ArgumentParser:
                         help="sampling RNG seed")
     parser.add_argument("--top", type=int, default=5,
                         help="hot cache lines to report (default: 5)")
+    parser.add_argument("--scalar-replay", action="store_true",
+                        help="use the scalar slice-per-sample replay "
+                             "instead of the vectorized segment replay "
+                             "(bit-identical results; the differential "
+                             "oracle)")
     parser.add_argument("--max-error", type=float, default=None,
                         help="exit nonzero when the total-traffic "
                              "relative error exceeds this bound "
@@ -482,7 +503,8 @@ def _run_sample_cmd(argv: List[str]) -> int:
         period=args.period, period_jitter=args.period_jitter,
         store_period=args.store_period, skid=args.skid,
         skid_jitter=args.skid_jitter, seed=args.seed)
-    observer = SamplingObserver(cache, kernel.streams(), config)
+    observer = SamplingObserver(cache, kernel.streams(), config,
+                                vectorized=not args.scalar_replay)
     t0 = _time.perf_counter()
     observer.observe_kernel(kernel)
     wall = _time.perf_counter() - t0
@@ -509,6 +531,7 @@ def _run_sample_cmd(argv: List[str]) -> int:
                       "write_bytes": round(est.write_bytes, 1)},
         "relative_error": {k: round(v, 6) for k, v in errors.items()},
         "levels": level_counts,
+        "replay": "scalar" if args.scalar_replay else "vectorized",
         "overhead": observer.overhead(),
         "hot_lines": observer.hot_lines(args.top),
         "wall_s": round(wall, 3),
@@ -522,7 +545,8 @@ def _run_sample_cmd(argv: List[str]) -> int:
               f"(period {config.period}±{config.period_jitter}, "
               f"store period {config.store_period}"
               f"±{config.store_jitter}, skid {config.skid}"
-              f"+U[0,{config.skid_jitter}]) in {wall:.3f}s")
+              f"+U[0,{config.skid_jitter}], {report['replay']} replay) "
+              f"in {wall:.3f}s")
         print(f"  exact     read {exact.read_bytes:,} B, "
               f"write {exact.write_bytes:,} B")
         print(f"  estimated read {est.read_bytes:,.0f} B, "
@@ -559,6 +583,7 @@ def _pipeline_kernel(name: str, size: int):
 def _run_pipeline_cmd(argv: List[str]) -> int:
     import time as _time
 
+    from .engine.autotune import AutotuneConfig
     from .engine.envconfig import env_n_shards
     from .engine.exact import ShardedExactEngine
     from .engine.pipeline import PipelinedExactEngine
@@ -571,11 +596,18 @@ def _run_pipeline_cmd(argv: List[str]) -> int:
     workers = args.workers
     if workers is None:
         workers = env_n_shards()
+    # --autotune forces the controller on; without it the REPRO_AUTOTUNE
+    # env default still applies (None).
+    autotune = True if args.autotune else None
+    tune_config = (AutotuneConfig(target_occupancy=args.target_occupancy)
+                   if args.target_occupancy is not None else None)
 
     t0 = _time.perf_counter()
     with PipelinedExactEngine(cache, n_workers=workers,
                               segment_rows=args.segment_rows,
-                              ring_depth=args.ring_depth) as engine:
+                              ring_depth=args.ring_depth,
+                              autotune=autotune,
+                              autotune_config=tune_config) as engine:
         traffic = engine.run_kernel(kernel)
     wall = _time.perf_counter() - t0
     stats = dict(engine.last_pipeline_stats)
@@ -609,6 +641,17 @@ def _run_pipeline_cmd(argv: List[str]) -> int:
         report["traffic_match"] = (
             traffic.read_bytes == seq_traffic.read_bytes
             and traffic.write_bytes == seq_traffic.write_bytes)
+    if args.tuning_trace_out:
+        with open(args.tuning_trace_out, "w", encoding="utf-8") as fh:
+            json.dump({
+                "kernel": kernel.name,
+                "autotune": stats.get("autotune", False),
+                "target_occupancy": stats.get("target_occupancy"),
+                "final_segment_rows": stats.get("final_segment_rows"),
+                "mean_ring_occupancy": stats.get("mean_ring_occupancy"),
+                "worker_cpus": stats.get("worker_cpus"),
+                "trace": stats.get("tuning_trace", []),
+            }, fh, indent=2)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -625,6 +668,18 @@ def _run_pipeline_cmd(argv: List[str]) -> int:
               f"utilization {stats['utilization']:.2f}, "
               f"queue depth mean {stats['mean_queue_depth']:.2f} "
               f"max {stats['max_queue_depth']}")
+        if stats.get("autotune"):
+            cpus = stats.get("worker_cpus")
+            cpu_map = ("none (pinning unavailable)" if not cpus else
+                       " ".join(f"w{w}->" + ",".join(map(str, c))
+                                for w, c in enumerate(cpus)))
+            print(f"  autotune: final segment_rows="
+                  f"{stats.get('final_segment_rows', stats['segment_rows'])}"
+                  f" ring occupancy "
+                  f"{stats.get('mean_ring_occupancy', 0.0):.2f}"
+                  f" (target {stats.get('target_occupancy', 0.0):.2f}),"
+                  f" {len(stats.get('tuning_trace', []))} decisions,"
+                  f" workers {cpu_map}")
         if args.compare_sequential:
             seq_info = report["sequential"]
             match = "exact" if report["traffic_match"] else "MISMATCH"

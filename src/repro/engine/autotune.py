@@ -1,0 +1,153 @@
+"""Self-tuning execution layer for the pipelined exact engine.
+
+The pipelined engine already measures everything a feedback loop
+needs — ring occupancy at every submit, producer stall time, worker
+busy time — but until now only exported the numbers as ungated
+``info_`` bench metrics.  This module closes the loop:
+
+* :class:`SegmentSizeController` — an AIMD law that grows the
+  producer's segment row count while the ring runs below a target
+  occupancy (workers are starving: hand them bigger batches so the
+  producer's per-segment overhead amortizes better) and backs off
+  multiplicatively once the producer both overshoots the setpoint and
+  actually stalls on backpressure.  Segment boundaries are invisible
+  to the cache model, so any tuning trajectory yields byte-identical
+  ``TrafficCounters`` (tested by hypothesis differentials).
+
+* :class:`AdaptiveBackoff` — exponential poll backoff for the
+  producer's result-queue wait, replacing the fixed 0.2 s timeout
+  poll: near-instant reaction when messages are flowing, capped
+  sleeps when the pipeline is drained.
+
+Both are pure-control-plane: they change *when* and *how much* work
+moves, never *what* is simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from .envconfig import (
+    default_autotune,
+    default_target_occupancy,
+    positive_int,
+    unit_fraction,
+)
+
+#: Never tune below this many rows per segment: tiny segments make the
+#: per-segment fixed costs (queue round-trips, numpy dispatch) dominate.
+MIN_SEGMENT_ROWS = 1 << 16
+
+#: Additive-increase fraction of the slot capacity per step.
+_GROW_NUM, _GROW_DEN = 1, 8
+#: Multiplicative-decrease factor applied on congestion (stall while
+#: above the occupancy setpoint).
+_SHRINK_NUM, _SHRINK_DEN = 3, 4
+
+#: Poll backoff bounds for :class:`AdaptiveBackoff` (seconds).
+_BACKOFF_MIN_S = 0.0005
+_BACKOFF_MAX_S = 0.2
+
+
+@dataclasses.dataclass(frozen=True)
+class AutotuneConfig:
+    """Knobs of the feedback controller.
+
+    ``target_occupancy`` is the ring-occupancy setpoint in (0, 1]:
+    the fraction of ring slots the controller tries to keep in
+    flight.  Below it the producer grows segments; above it — but
+    only when the producer actually stalled — it shrinks them.
+    ``min_rows`` floors the segment size; the ceiling is always the
+    mmapped slot capacity, which is fixed at pool creation.
+    """
+
+    target_occupancy: Optional[float] = None
+    min_rows: int = MIN_SEGMENT_ROWS
+
+    def __post_init__(self):
+        if self.target_occupancy is not None:
+            unit_fraction(self.target_occupancy, "target_occupancy")
+        positive_int(self.min_rows, "min_rows")
+
+    def resolved_target(self) -> float:
+        if self.target_occupancy is not None:
+            return float(self.target_occupancy)
+        return default_target_occupancy()
+
+
+def resolve_autotune(autotune: Optional[bool]) -> bool:
+    """Explicit flag, or the ``REPRO_AUTOTUNE`` default when None."""
+    if autotune is None:
+        return default_autotune()
+    return bool(autotune)
+
+
+class SegmentSizeController:
+    """AIMD segment-row controller steered by ring occupancy.
+
+    The producer consults :meth:`observe` once per submitted slot
+    with the occupancy it saw *before* submitting (in-flight slots /
+    ring depth) and whether it had to stall for an ack to free the
+    slot.  :attr:`rows` is then the row budget for the next segment.
+
+    The law is deliberately conservative in the shrink direction:
+    occupancy above the setpoint is the *desired* state of a healthy
+    pipeline (workers always have queued work), so the controller
+    only backs off when high occupancy coincides with a producer
+    stall — the signature of workers being the bottleneck and the
+    ring wasting memory on oversized slots.
+    """
+
+    def __init__(self, slot_rows: int, initial_rows: int,
+                 config: Optional[AutotuneConfig] = None):
+        self.slot_rows = positive_int(slot_rows, "slot_rows")
+        config = config or AutotuneConfig()
+        self.min_rows = min(config.min_rows, self.slot_rows)
+        self.target = config.resolved_target()
+        self.rows = max(self.min_rows,
+                        min(positive_int(initial_rows, "initial_rows"),
+                            self.slot_rows))
+        self._step = max(1, self.slot_rows * _GROW_NUM // _GROW_DEN)
+        #: ``(seq, rows, occupancy)`` per decision — the tuning trace.
+        self.trace: List[Tuple[int, int, float]] = []
+        self._seq = 0
+
+    def observe(self, occupancy: float, stalled: bool) -> int:
+        """Feed one submit's observation; returns the next row budget."""
+        if occupancy < self.target:
+            self.rows = min(self.slot_rows, self.rows + self._step)
+        elif stalled:
+            self.rows = max(self.min_rows,
+                            self.rows * _SHRINK_NUM // _SHRINK_DEN)
+        self._seq += 1
+        self.trace.append((self._seq, self.rows, round(occupancy, 4)))
+        return self.rows
+
+
+class AdaptiveBackoff:
+    """Exponential poll backoff for blocking-queue waits.
+
+    ``timeout()`` yields the next wait; ``reset()`` is called whenever
+    a message actually arrived, snapping back to the minimum so a
+    busy pipeline polls at sub-millisecond latency while an idle one
+    converges to the capped sleep (which still bounds dead-worker
+    detection latency).
+    """
+
+    def __init__(self, min_s: float = _BACKOFF_MIN_S,
+                 max_s: float = _BACKOFF_MAX_S):
+        if not 0 < min_s <= max_s:
+            raise ValueError("need 0 < min_s <= max_s")
+        self.min_s = min_s
+        self.max_s = max_s
+        self._current = min_s
+
+    def timeout(self) -> float:
+        """Current wait; doubles (capped) for the next empty poll."""
+        out = self._current
+        self._current = min(self.max_s, self._current * 2.0)
+        return out
+
+    def reset(self) -> None:
+        self._current = self.min_s

@@ -71,6 +71,7 @@ import queue as queue_mod
 import tempfile
 import time
 import traceback
+import warnings
 from typing import (
     Callable,
     Dict,
@@ -86,10 +87,18 @@ from typing import (
 import numpy as np
 
 from ..errors import SimulationError
+from ..machine.affinity import apply_affinity, plan_worker_cpus
 from ..machine.cache import CacheSim, TrafficCounters, expand_to_sectors
 from ..machine.config import CacheConfig
 from ..machine.prefetch import SoftwarePrefetch
+from .autotune import (
+    AdaptiveBackoff,
+    AutotuneConfig,
+    SegmentSizeController,
+    resolve_autotune,
+)
 from .envconfig import (
+    affinity_mode,
     default_ring_depth,
     positive_int,
     resolve_segment_rows,
@@ -135,15 +144,20 @@ def _slot_views(buf, slot_rows: int, depth: int) -> List[Dict]:
 
 def _worker_main(worker_id: int, n_workers: int, ring_path: str,
                  slot_rows: int, depth: int, config: CacheConfig,
-                 policy: str, task_q, result_q) -> None:
+                 policy: str, task_q, result_q,
+                 cpus=None) -> None:
     """Shard-worker loop: lives for the whole engine, one nest at a
     time. Messages arrive in program order through the private queue:
     ``("begin",)`` → fresh simulator, ``("seg", slot, rows, seq)`` →
-    simulate owned rows then ack, ``("end", nest_id)`` → flush and
-    report counters, ``("stop",)`` → exit."""
+    mask owned rows then ack, ``("sseg", slot, seq, offsets)`` →
+    slice the pre-sorted per-worker span then ack, ``("end",
+    nest_id)`` → flush and report counters, ``("stop",)`` → exit.
+    ``cpus`` (optional) pins the worker via ``sched_setaffinity``."""
     sim = None
     busy = 0.0
     rows_owned = 0
+    if cpus:
+        apply_affinity(cpus)
     try:
         with open(ring_path, "rb") as handle:
             ring = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
@@ -155,6 +169,22 @@ def _worker_main(worker_id: int, n_workers: int, ring_path: str,
                 sim = CacheSim(config, policy=policy)
                 busy = 0.0
                 rows_owned = 0
+            elif kind == "sseg":
+                _, slot, seq, offsets = msg
+                start = time.perf_counter()
+                cols = views[slot]
+                lo = offsets[worker_id]
+                hi = offsets[worker_id + 1]
+                # Copy out of the slot before acking: the parent may
+                # rewrite it once the seq is fully acked.
+                addr = cols["addr"][lo:hi].copy()
+                size = cols["size"][lo:hi].copy()
+                is_write = cols["is_write"][lo:hi].copy()
+                if addr.size:
+                    sim.access_batch(addr, size.astype(np.int64), is_write)
+                    rows_owned += int(addr.size)
+                busy += time.perf_counter() - start
+                result_q.put(("ack", worker_id, seq))
             elif kind == "seg":
                 _, slot, rows, seq = msg
                 start = time.perf_counter()
@@ -213,7 +243,10 @@ class PipelinedExactEngine:
                  policy: str = "lru",
                  segment_rows: Optional[int] = None,
                  ring_depth: Optional[int] = None,
-                 checkpoint_dir=None):
+                 checkpoint_dir=None,
+                 autotune: Optional[bool] = None,
+                 autotune_config: Optional[AutotuneConfig] = None,
+                 affinity: Optional[bool] = None):
         if capacity_override is not None:
             cache = CacheConfig(
                 capacity_bytes=_round_capacity(capacity_override, cache),
@@ -230,9 +263,20 @@ class PipelinedExactEngine:
         # One set-shard per worker, clamped like ShardedExactEngine
         # (and to the uint8 shard column).
         self.n_workers = max(0, min(int(n_workers), cache.n_sets, 255))
+        # Knob precedence (locked by regression test): an explicit
+        # constructor argument always wins; the env default is only
+        # consulted when the argument is None.
         self.segment_rows = resolve_segment_rows(segment_rows)
         self.ring_depth = (default_ring_depth() if ring_depth is None
                            else positive_int(ring_depth, "ring_depth"))
+        self.autotune = resolve_autotune(autotune)
+        self.autotune_config = autotune_config or AutotuneConfig()
+        if affinity is None:
+            mode = affinity_mode()
+            self.affinity = (self.autotune if mode == "auto"
+                             else mode == "on")
+        else:
+            self.affinity = bool(affinity)
         # The write-combining buffer lives in the parent simulator.
         self.sim = CacheSim(cache, policy=policy)
         #: Directory for per-kernel checkpoints of ``run_many`` suites
@@ -263,6 +307,9 @@ class PipelinedExactEngine:
         self._ring = None
         self._ring_path: Optional[str] = None
         self._views = None
+        self._backoff = AdaptiveBackoff()
+        self._controller: Optional[SegmentSizeController] = None
+        self._worker_cpus: Optional[List[List[int]]] = None
 
     # ------------------------------------------------------- lifecycle
     def __enter__(self) -> "PipelinedExactEngine":
@@ -271,11 +318,25 @@ class PipelinedExactEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def __del__(self) -> None:  # pragma: no cover - best effort
+    def __del__(self) -> None:
+        # Best-effort, but never *silently* best-effort: a pool that
+        # had to be terminated (or a close that failed outright) is a
+        # resource leak the caller should hear about.
         try:
-            self.close()
-        except Exception:
-            pass
+            leaked = self.close()
+        except Exception as exc:  # pragma: no cover - interpreter teardown
+            warnings.warn(
+                f"PipelinedExactEngine.__del__: close() failed "
+                f"({exc!r}); worker processes may have leaked",
+                ResourceWarning, stacklevel=2)
+            return
+        if leaked:
+            warnings.warn(
+                f"PipelinedExactEngine.__del__: worker processes "
+                f"(pids {leaked}) did not join within {_JOIN_S}s and "
+                f"were terminated — call close() explicitly or use "
+                f"the engine as a context manager",
+                ResourceWarning, stacklevel=2)
 
     def _ensure_pool(self) -> None:
         if self.n_workers == 0 or self._pool is not None:
@@ -296,13 +357,17 @@ class PipelinedExactEngine:
         self._result_q = ctx.Queue()
         self._task_qs = []
         self._pool = []
+        self._worker_cpus = (plan_worker_cpus(self.n_workers)
+                             if self.affinity else None)
         for wid in range(self.n_workers):
             task_q = ctx.Queue()
+            cpus = (self._worker_cpus[wid]
+                    if self._worker_cpus is not None else None)
             proc = ctx.Process(
                 target=_worker_main,
                 args=(wid, self.n_workers, path, self.segment_rows,
                       self.ring_depth, self.cache_config, self.policy,
-                      task_q, self._result_q),
+                      task_q, self._result_q, cpus),
                 daemon=True,
             )
             proc.start()
@@ -312,9 +377,12 @@ class PipelinedExactEngine:
         self._acks = {}
         self._dones = {}
 
-    def close(self) -> None:
+    def close(self) -> List[int]:
         """Stop the worker pool and release the segment ring. The
-        engine stays usable — the next run respawns the pool."""
+        engine stays usable — the next run respawns the pool.
+        Returns the PIDs of workers that missed the join grace period
+        and had to be terminated (empty on a clean shutdown)."""
+        leaked: List[int] = []
         if self._pool is not None:
             for task_q in self._task_qs:
                 try:
@@ -325,6 +393,7 @@ class PipelinedExactEngine:
             for proc in self._pool:
                 proc.join(timeout=max(0.0, deadline - time.monotonic()))
                 if proc.is_alive():
+                    leaked.append(proc.pid)
                     proc.terminate()
                     proc.join(timeout=_JOIN_S)
             for q in self._task_qs + [self._result_q]:
@@ -348,6 +417,7 @@ class PipelinedExactEngine:
             except OSError:
                 pass
             self._ring_path = None
+        return leaked
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live pool (empty in inline mode) — lets tests
@@ -384,12 +454,20 @@ class PipelinedExactEngine:
                 return
 
     def _wait(self, ready: Callable[[], bool]) -> float:
-        """Block until ``ready()``; returns seconds stalled."""
+        """Block until ``ready()``; returns seconds stalled.
+
+        Polling uses adaptive exponential backoff: sub-millisecond
+        reaction while acks are flowing, sleeps capped at the old
+        fixed poll interval when the queue runs dry (which still
+        bounds how late a dead worker is noticed)."""
         start = time.perf_counter()
         self._drain()
+        self._backoff.reset()
         while not ready():
             try:
-                self._handle(self._result_q.get(timeout=_POLL_S))
+                self._handle(
+                    self._result_q.get(timeout=self._backoff.timeout()))
+                self._backoff.reset()
             except queue_mod.Empty:
                 dead = [p.pid for p in self._pool if not p.is_alive()]
                 if dead:
@@ -404,16 +482,31 @@ class PipelinedExactEngine:
     def _submit_segment(self, c_addr, c_size, c_write, shard,
                         stats: Dict[str, float]) -> None:
         """Write expanded columns into ring slots (re-chunking to slot
-        capacity) and announce them to every worker."""
-        cap = self.segment_rows
-        for lo in range(0, int(c_addr.size), cap):
-            hi = min(lo + cap, int(c_addr.size))
+        capacity) and announce them to every worker.
+
+        With autotune on, the chunk size follows the AIMD controller
+        (clamped to the mmapped slot capacity) and multi-worker
+        chunks are stably sorted by shard so each worker consumes a
+        contiguous span (``"sseg"``) instead of rescanning the full
+        slot for its mask — the sort is one O(rows) uint8 radix pass
+        in the producer that deletes an O(rows) scan from *every*
+        worker. Stable sort preserves per-shard (hence per-set)
+        program order, so results stay byte-identical."""
+        ctrl = self._controller
+        total = int(c_addr.size)
+        lo = 0
+        while lo < total:
+            cap = ctrl.rows if ctrl is not None else self.segment_rows
+            hi = min(lo + cap, total)
             rows = hi - lo
             seq = self._seq
             slot = seq % self.ring_depth
+            stalled = False
             if seq >= self.ring_depth:
-                stats["stall_s"] += self._wait(
+                waited = self._wait(
                     lambda s=seq: self._segment_acked(s - self.ring_depth))
+                stats["stall_s"] += waited
+                stalled = waited > 1e-3
                 self._acks.pop(seq - self.ring_depth, None)
             in_flight = sum(
                 1 for s in range(max(0, seq - self.ring_depth), seq)
@@ -421,15 +514,28 @@ class PipelinedExactEngine:
             stats["depth_sum"] += in_flight
             stats["depth_max"] = max(stats["depth_max"], in_flight)
             cols = self._views[slot]
-            cols["addr"][:rows] = c_addr[lo:hi]
-            cols["size"][:rows] = c_size[lo:hi]
-            cols["is_write"][:rows] = c_write[lo:hi]
-            if shard is not None:
-                cols["shard"][:rows] = shard[lo:hi]
-            self._broadcast(("seg", slot, rows, seq))
+            if shard is not None and self.autotune:
+                order = np.argsort(shard[lo:hi], kind="stable")
+                cols["addr"][:rows] = c_addr[lo:hi][order]
+                cols["size"][:rows] = c_size[lo:hi][order]
+                cols["is_write"][:rows] = c_write[lo:hi][order]
+                offsets = tuple(np.searchsorted(
+                    shard[lo:hi][order],
+                    np.arange(self.n_workers + 1)).tolist())
+                self._broadcast(("sseg", slot, seq, offsets))
+            else:
+                cols["addr"][:rows] = c_addr[lo:hi]
+                cols["size"][:rows] = c_size[lo:hi]
+                cols["is_write"][:rows] = c_write[lo:hi]
+                if shard is not None:
+                    cols["shard"][:rows] = shard[lo:hi]
+                self._broadcast(("seg", slot, rows, seq))
             self._seq += 1
             stats["segments"] += 1
+            if ctrl is not None:
+                ctrl.observe(in_flight / self.ring_depth, stalled)
             self._drain()
+            lo = hi
 
     def _produce_nest(self, segments: Iterator[BatchTrace],
                       bypass: Dict[str, bool], sim_inline,
@@ -560,6 +666,18 @@ class PipelinedExactEngine:
         active: Dict[int, Tuple[int, TrafficCounters, Optional[str]]] = {}
         worker_busy = [0.0] * max(1, self.n_workers)
         inline = self.n_workers == 0
+        if self.autotune and not inline:
+            # Fresh controller per run, seeded with the previous
+            # run's converged size so a persistent pool keeps its
+            # learned operating point across kernels.
+            initial = (self._controller.rows
+                       if self._controller is not None
+                       else max(self.autotune_config.min_rows,
+                                self.segment_rows // 8))
+            self._controller = SegmentSizeController(
+                self.segment_rows, initial, self.autotune_config)
+        else:
+            self._controller = None
         try:
             if not inline:
                 self._ensure_pool()
@@ -640,7 +758,21 @@ class PipelinedExactEngine:
             "mean_queue_depth": (stats["depth_sum"] / stats["segments"]
                                  if stats["segments"] else 0.0),
             "max_queue_depth": int(stats["depth_max"]),
+            "autotune": bool(self.autotune),
+            "affinity": bool(self.affinity),
+            "worker_cpus": self._worker_cpus,
         }
+        ctrl = self._controller
+        if ctrl is not None:
+            self.last_pipeline_stats.update({
+                "target_occupancy": ctrl.target,
+                "final_segment_rows": ctrl.rows,
+                "mean_ring_occupancy": (
+                    stats["depth_sum"]
+                    / (stats["segments"] * self.ring_depth)
+                    if stats["segments"] else 0.0),
+                "tuning_trace": [list(t) for t in ctrl.trace],
+            })
         return [r if r is not None else TrafficCounters()
                 for r in results]
 

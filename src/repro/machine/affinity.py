@@ -12,12 +12,24 @@ offer and resolves them to the physical cores the executor occupies:
   threads per core on POWER9);
 * ``scatter`` — round-robin across sockets first, then cores, to
   balance bandwidth-bound work across both nests.
+
+Alongside the *modelled* POWER9 pinning above, this module also hosts
+the *operational* affinity layer the self-tuning pipelined engine
+uses to place its real shard-worker processes: ``cpu_topology()``
+reads the usable CPU set (``os.sched_getaffinity``) and the NUMA node
+membership from ``/sys/devices/system/node``, ``plan_worker_cpus()``
+carves it into node-contiguous per-worker sets (reserving a CPU for
+the producer when there is slack), and ``apply_affinity()`` pins the
+calling process.  Every step degrades to a documented no-op on
+platforms without ``sched_setaffinity`` or ``/sys`` — placement is a
+timing optimization and must never be a portability hazard.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..pmu.events import SMT_PER_CORE
@@ -110,3 +122,117 @@ def cores_per_socket(bindings: List[ThreadBinding]) -> dict:
     for b in bindings:
         out.setdefault(b.socket_id, set()).add(b.core_id)
     return {sid: len(cores) for sid, cores in out.items()}
+
+
+# --------------------------------------------------------------------
+# Operational affinity: placing real worker processes on real CPUs.
+# --------------------------------------------------------------------
+
+_NODE_SYS_DIR = "/sys/devices/system/node"
+
+
+def parse_cpulist(text: str) -> List[int]:
+    """Parse a kernel cpulist string (``"0-3,8,10-11"``) to CPU ids."""
+    cpus: List[int] = []
+    for part in text.strip().split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ValueError(f"descending cpulist range {part!r}")
+            cpus.extend(range(lo, hi + 1))
+        else:
+            cpus.append(int(part))
+    return sorted(set(cpus))
+
+
+def cpu_topology(sys_node_dir: str = _NODE_SYS_DIR,
+                 ) -> Dict[int, List[int]]:
+    """Usable CPUs grouped by NUMA node.
+
+    Only CPUs in the caller's current affinity mask count as usable.
+    When the platform exposes no ``sched_getaffinity`` the full
+    ``os.cpu_count()`` range is assumed; when ``/sys`` has no node
+    directories every usable CPU lands on a synthetic node 0.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        usable = sorted(os.sched_getaffinity(0))
+    else:  # pragma: no cover - non-Linux fallback
+        usable = list(range(os.cpu_count() or 1))
+    usable_set = set(usable)
+
+    nodes: Dict[int, List[int]] = {}
+    try:
+        entries = sorted(os.listdir(sys_node_dir))
+    except OSError:
+        entries = []
+    for entry in entries:
+        if not entry.startswith("node") or not entry[4:].isdigit():
+            continue
+        try:
+            with open(os.path.join(sys_node_dir, entry, "cpulist"),
+                      encoding="ascii") as fh:
+                cpus = parse_cpulist(fh.read())
+        except (OSError, ValueError):
+            continue
+        present = [c for c in cpus if c in usable_set]
+        if present:
+            nodes[int(entry[4:])] = present
+    claimed = {c for cpus in nodes.values() for c in cpus}
+    leftover = [c for c in usable if c not in claimed]
+    if leftover:
+        # CPUs /sys did not claim (or no /sys at all): synthetic node.
+        nodes.setdefault(0, [])
+        nodes[0] = sorted(set(nodes[0]) | set(leftover))
+    return nodes
+
+
+def plan_worker_cpus(n_workers: int,
+                     topology: Optional[Dict[int, List[int]]] = None,
+                     ) -> Optional[List[List[int]]]:
+    """Contiguous per-worker CPU sets, NUMA-node-aware.
+
+    Returns ``None`` when pinning cannot help (no affinity syscall,
+    a single usable CPU, or fewer CPUs than workers — oversubscribed
+    pinning only serializes workers the scheduler would interleave).
+    When there is at least one spare CPU the first one is reserved
+    for the producer/parent, mirroring the Summit launcher's isolated
+    core, and workers are packed node-by-node so each worker's set
+    never straddles a NUMA boundary unless the node sizes force it.
+    """
+    if n_workers < 1 or not hasattr(os, "sched_setaffinity"):
+        return None
+    if topology is None:
+        topology = cpu_topology()
+    cpus: List[int] = [c for _, node_cpus in sorted(topology.items())
+                       for c in node_cpus]
+    if len(cpus) < 2 or len(cpus) < n_workers:
+        return None
+    if len(cpus) > n_workers:
+        cpus = cpus[1:]  # reserve the first CPU for the producer
+    base, extra = divmod(len(cpus), n_workers)
+    plan: List[List[int]] = []
+    start = 0
+    for wid in range(n_workers):
+        take = base + (1 if wid < extra else 0)
+        plan.append(cpus[start:start + take])
+        start += take
+    return plan
+
+
+def apply_affinity(cpus: Sequence[int], pid: int = 0) -> bool:
+    """Pin ``pid`` (default: caller) to ``cpus``; False on failure.
+
+    Failures (unsupported platform, CPUs gone offline, permission)
+    are swallowed: affinity is best-effort by design.
+    """
+    if not cpus or not hasattr(os, "sched_setaffinity"):
+        return False
+    try:
+        os.sched_setaffinity(pid, set(int(c) for c in cpus))
+        return True
+    except (OSError, ValueError):
+        return False

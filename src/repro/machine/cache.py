@@ -148,6 +148,42 @@ def expand_to_sectors(
             None if bypass is None else bypass[idx])
 
 
+def _prefix_state(sec: np.ndarray, w: np.ndarray,
+                  wpos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per watched position ``p``: was ``sec[p]`` touched (written)
+    at any strictly earlier position of this chunk?
+
+    Only positions whose sector is one of the watched sectors enter
+    the sort, so the cost scales with the watched sectors' touch
+    count, not the chunk size. Stable argsort by sector groups each
+    sector's touches in program order; "earlier touch" is then
+    "not the group head" and "earlier write" an exclusive per-group
+    prefix sum of the write flags.
+    """
+    wsec = np.unique(sec[wpos])
+    loc = np.searchsorted(wsec, sec)
+    np.clip(loc, 0, wsec.size - 1, out=loc)
+    sub = np.flatnonzero(wsec[loc] == sec)
+    s_order = np.argsort(sec[sub], kind="stable")
+    s_sec = sec[sub][s_order]
+    s_w = w[sub][s_order]
+    n = s_sec.size
+    gs = np.empty(n, dtype=bool)
+    gs[0] = True
+    np.not_equal(s_sec[1:], s_sec[:-1], out=gs[1:])
+    gidx = np.maximum.accumulate(
+        np.where(gs, np.arange(n, dtype=np.int64), 0))
+    cw = np.cumsum(s_w) - s_w  # exclusive running write count
+    e_touch_sorted = ~gs
+    e_write_sorted = (cw - cw[gidx]) > 0
+    e_touch = np.empty(n, dtype=bool)
+    e_write = np.empty(n, dtype=bool)
+    e_touch[s_order] = e_touch_sorted
+    e_write[s_order] = e_write_sorted
+    at = np.searchsorted(sub, wpos)
+    return e_touch[at], e_write[at]
+
+
 class CacheSim:
     """Exact sectored set-associative cache with LRU replacement.
 
@@ -190,6 +226,11 @@ class CacheSim:
         self._res_bitmap: Optional[np.ndarray] = None
         self._res_stale = True
         self._lu_dense: Optional[np.ndarray] = None
+        # Dirty bitmap over sector ids: rebuilt at the start of every
+        # watched batch (access_batch_probed) and maintained only for
+        # its duration, so the unwatched hot paths never pay for it.
+        self._dirty_bitmap: Optional[np.ndarray] = None
+        self._dirty_active = False
 
     # ------------------------------------------------------------------
     # address helpers
@@ -353,9 +394,81 @@ class CacheSim:
         if c_addr.size:
             self._cached_batch(c_addr, c_write, chunk_size)
 
+    def access_batch_probed(self, addr, size, is_write, watch, *,
+                            chunk_size: int = DEFAULT_BATCH_CHUNK
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Process a columnar (non-bypass) trace exactly like
+        :meth:`access_batch` while extracting, for every row index in
+        ``watch``, the pre-access per-sector cache state.
+
+        Returns ``(rows, resident, dirty)``: one entry per sector
+        touched by a watched row, in program order — ``rows[i]`` is
+        the watched row index, ``resident[i]``/``dirty[i]`` the state
+        :meth:`probe` would have reported for that sector immediately
+        *before* the row executed. This is the sampling observer's
+        vectorized replacement for its per-sample
+        replay-slice-then-``probe`` loop; the simulator ends in the
+        identical state either way.
+
+        Caveat: a watched row spanning ``n_sets`` or more cache lines
+        could self-interfere (an early sector's eviction changing a
+        later sector's set) in a way the in-batch extraction resolves
+        at sector granularity while ``probe``-before-row would not.
+        Callers guard against this (the observer falls back to its
+        scalar replay for such segments); rows that wide do not occur
+        in practice — it would take a single access touching
+        ``n_sets * line_bytes`` contiguous bytes.
+        """
+        addr = np.ascontiguousarray(addr, dtype=np.int64)
+        size = np.ascontiguousarray(size, dtype=np.int64)
+        is_write = np.ascontiguousarray(is_write, dtype=bool)
+        n = addr.size
+        if size.size != n or is_write.size != n:
+            raise SimulationError(
+                "access_batch columns must have equal lengths")
+        watch = np.unique(np.asarray(watch, dtype=np.int64))
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=bool),
+                 np.empty(0, dtype=bool))
+        if n == 0:
+            if watch.size:
+                raise SimulationError("watch row indices out of range")
+            return empty
+        if watch.size and (watch[0] < 0 or watch[-1] >= n):
+            raise SimulationError("watch row indices out of range")
+        if int(size.min()) <= 0:
+            raise SimulationError(
+                f"access size must be positive, got {int(size.min())}")
+        rows = np.arange(n, dtype=np.int64)
+        c_addr, _, c_write, c_rows = expand_to_sectors(
+            addr, size, is_write, rows, self.granule)
+        if not watch.size:
+            self._cached_batch(c_addr, c_write, chunk_size)
+            return empty
+        loc = np.searchsorted(watch, c_rows)
+        np.clip(loc, 0, watch.size - 1, out=loc)
+        c_watch = watch[loc] == c_rows
+        res_pre, dirty_pre = self._cached_batch(
+            c_addr, c_write, chunk_size, watch=c_watch)
+        return c_rows[c_watch], res_pre, dirty_pre
+
     # -- cached (non-bypass) entries -----------------------------------
     def _cached_batch(self, c_addr: np.ndarray, c_write: np.ndarray,
-                      chunk_size: int) -> None:
+                      chunk_size: int,
+                      watch: Optional[np.ndarray] = None):
+        """Chunked vectorized simulation; with ``watch`` (a boolean
+        mask over the expanded entries) also extracts each watched
+        entry's pre-access (resident, dirty) state and returns the
+        two arrays, ordered by entry position.
+
+        Watched-state extraction rides the existing chunk
+        classification: in eviction-free sets residency only grows
+        and dirty bits only accrue, so pre-state is ``state at chunk
+        entry OR touched/written earlier in the chunk`` (two gathers
+        plus a prefix scan over the watched sectors' touches);
+        turbulent sets capture exact per-run head state inside the
+        replay loop. Dirty bits at chunk entry come from a dirty
+        bitmap that exists only while a watched batch runs.
+        """
         sec = _floordiv(c_addr, self.granule)
         lo = int(sec.min())
         hi = int(sec.max())
@@ -363,6 +476,15 @@ class CacheSim:
         if use_bitmap:
             self._ensure_residency(hi)
             self._ensure_lu_overlay(hi // self.sectors_per_line)
+        res_out = dirty_out = None
+        if watch is not None:
+            n_watched = int(watch.sum())
+            res_out = np.empty(n_watched, dtype=bool)
+            dirty_out = np.empty(n_watched, dtype=bool)
+            if use_bitmap:
+                self._ensure_dirty(hi)
+                self._dirty_active = True
+        wbase = 0
         t0 = self._clock
         hits = 0
         lru = self.policy == "lru"
@@ -370,18 +492,46 @@ class CacheSim:
         for start in range(0, sec.size, chunk_size):
             chunk = sec[start:start + chunk_size]
             w = c_write[start:start + chunk_size]
+            wpos = None
+            if watch is not None:
+                cw_mask = watch[start:start + chunk_size]
+                if cw_mask.any():
+                    wpos = np.flatnonzero(cw_mask)
+                    slot0 = wbase
+                    wbase += wpos.size
             if not use_bitmap:
                 lines = _floordiv(chunk, spl)
                 pos = t0 + start + np.arange(chunk.size, dtype=np.int64)
-                hits += self._replay_exact(chunk, w, pos, lines,
-                                           _mod(lines, self.n_sets))
+                if wpos is None:
+                    hits += self._replay_exact(chunk, w, pos, lines,
+                                               _mod(lines, self.n_sets))
+                else:
+                    # No residency bitmap → the whole chunk replays
+                    # exactly, so run-head capture alone covers every
+                    # watched entry.
+                    h, in_idx, rp, dp = self._replay_exact(
+                        chunk, w, pos, lines, _mod(lines, self.n_sets),
+                        watch=cw_mask)
+                    hits += h
+                    slots = slot0 + np.searchsorted(wpos, in_idx)
+                    res_out[slots] = rp
+                    dirty_out[slots] = dp
                 continue
             resident = self._res_bitmap[chunk]
             lines = _floordiv(chunk, spl)
+            if wpos is not None:
+                # Entry-state gathers must precede any mutation below.
+                ent_res = resident[wpos]
+                ent_dirty = self._dirty_bitmap[chunk[wpos]]
+                e_touch, e_write = _prefix_state(chunk, w, wpos)
             if resident.all():
                 hits += chunk.size
                 self._apply_dirty(chunk, w, None)
                 self._scatter_recency(lines, t0 + start)
+                if wpos is not None:
+                    slots = slot0 + np.arange(wpos.size)
+                    res_out[slots] = True
+                    dirty_out[slots] = ent_dirty | e_write
                 continue
             nonres = ~resident
             nr_idx = np.flatnonzero(nonres)
@@ -408,9 +558,28 @@ class CacheSim:
                 turb_dense[evicting] = True
                 turb = turb_dense[sets_arr]
                 t_idx = np.flatnonzero(turb)
-                hits += self._replay_exact(
-                    chunk[t_idx], w[t_idx], t0 + start + t_idx,
-                    lines[t_idx], sets_arr[t_idx])
+                if wpos is None:
+                    hits += self._replay_exact(
+                        chunk[t_idx], w[t_idx], t0 + start + t_idx,
+                        lines[t_idx], sets_arr[t_idx])
+                else:
+                    # Turbulent watched entries get exact run-head
+                    # capture; the rest of the chunk is eviction-free
+                    # and uses the entry|earlier formula.
+                    h, in_idx, rp, dp = self._replay_exact(
+                        chunk[t_idx], w[t_idx], t0 + start + t_idx,
+                        lines[t_idx], sets_arr[t_idx],
+                        watch=cw_mask[t_idx])
+                    hits += h
+                    slots = slot0 + np.searchsorted(wpos, t_idx[in_idx])
+                    res_out[slots] = rp
+                    dirty_out[slots] = dp
+                    calm_w = np.flatnonzero(~turb[wpos])
+                    if calm_w.size:
+                        slots = slot0 + calm_w
+                        res_out[slots] = ent_res[calm_w] | e_touch[calm_w]
+                        dirty_out[slots] = (ent_dirty[calm_w]
+                                            | e_write[calm_w])
                 semi_sel = nonres & ~turb
                 s_idx = np.flatnonzero(semi_sel)
                 first = np.unique(chunk[s_idx], return_index=True)[1]
@@ -422,6 +591,10 @@ class CacheSim:
                 first = u_first
                 hits += chunk.size - s_idx.size
                 self._apply_dirty(chunk, w, resident)
+                if wpos is not None:
+                    slots = slot0 + np.arange(wpos.size)
+                    res_out[slots] = ent_res | e_touch
+                    dirty_out[slots] = ent_dirty | e_write
             if s_idx.size:
                 # Eviction-free sets: only the *first* touch of each
                 # non-resident sector can miss — it installs the
@@ -449,6 +622,10 @@ class CacheSim:
             self._scatter_recency(lines, t0 + start)
         self._clock = t0 + sec.size
         self.stats_hits += hits
+        if watch is not None:
+            self._dirty_active = False
+            return res_out, dirty_out
+        return None
 
     def _scatter_recency(self, lines: np.ndarray, base: int) -> None:
         """Record this chunk's touch times in the dense last_use
@@ -468,24 +645,35 @@ class CacheSim:
         if not w.any():
             return
         written = w if select is None else (w & select)
+        if self._dirty_active:
+            self._dirty_bitmap[sec[written]] = True
         spl = self.sectors_per_line
         for sid in np.unique(sec[written]).tolist():
             tag = sid // spl
             line = self._sets[tag % self.n_sets][tag]
             line.dirty_mask |= 1 << (sid % spl)
 
-    def _replay_exact(self, sec, w, pos, lines, sets_arr) -> int:
+    def _replay_exact(self, sec, w, pos, lines, sets_arr, watch=None):
         """Replay turbulent-set accesses exactly, in per-set program
         order, coalescing runs of consecutive same-sector touches.
 
         Returns the number of hits (misses/traffic are applied to the
-        simulator directly).
+        simulator directly). With ``watch`` (boolean mask over the
+        input entries) additionally returns ``(hits, in_idx, res_pre,
+        dirty_pre)``: for each watched entry (``in_idx`` indexes the
+        inputs) the sector state just before that entry executed —
+        the run head's pre-mutation state captured in the loop,
+        promoted to resident for non-head run members (the head
+        fetched the sector) and to dirty after an earlier same-run
+        write.
         """
         order = np.argsort(sets_arr, kind="stable")
         sec = sec[order]
         n = sec.size
+        _ew = (np.empty(0, dtype=np.int64), np.empty(0, dtype=bool),
+               np.empty(0, dtype=bool))
         if n == 0:
-            return 0
+            return 0 if watch is None else (0,) + _ew
         w = w[order]
         pos = pos[order]
         # A run = consecutive equal sector ids inside one set's
@@ -505,28 +693,48 @@ class CacheSim:
         run_set = _mod(run_tag, self.n_sets)
         run_sector = _mod(run_sec, spl)
 
+        watching = False
+        if watch is not None:
+            wsorted = np.flatnonzero(watch[order])
+            if wsorted.size:
+                watching = True
+                runs_of = np.searchsorted(starts, wsorted,
+                                          side="right") - 1
+                need = np.zeros(starts.size, dtype=bool)
+                need[runs_of] = True
+                run_res = np.zeros(starts.size, dtype=bool)
+                run_dirty = np.zeros(starts.size, dtype=bool)
         sets_local = self._sets
         lru = self.policy == "lru"
         bitmap = self._res_bitmap
+        dbitmap = self._dirty_bitmap if self._dirty_active else None
         assoc = self.assoc
         granule = self.granule
         hits = 0
         misses = 0
         fetches = 0
         writebacks = 0
-        for sid, tag, st, sct, anyw, ln, hp, lp in zip(
+        for ri, (sid, tag, st, sct, anyw, ln, hp, lp) in enumerate(zip(
                 run_sec.tolist(), run_tag.tolist(), run_set.tolist(),
                 run_sector.tolist(), any_w.tolist(), lengths.tolist(),
-                head_pos.tolist(), last_pos.tolist()):
+                head_pos.tolist(), last_pos.tolist())):
             cache_set = sets_local[st]
             line = cache_set.get(tag)
             bit = 1 << sct
+            if watching and need[ri]:
+                # Pre-mutation head state for the watched entries.
+                if line is not None and line.valid_mask & bit:
+                    run_res[ri] = True
+                    if line.dirty_mask & bit:
+                        run_dirty[ri] = True
             if line is not None and line.valid_mask & bit:
                 hits += ln
                 if lru:
                     line.last_use = lp
                 if anyw:
                     line.dirty_mask |= bit
+                    if dbitmap is not None:
+                        dbitmap[sid] = True
                 continue
             # Head access misses; the rest of the run hits the sector
             # the head just fetched.
@@ -551,6 +759,13 @@ class CacheSim:
                             low = vmask & -vmask
                             bitmap[vbase + low.bit_length() - 1] = False
                             vmask ^= low
+                    if dbitmap is not None:
+                        dmask = victim.dirty_mask
+                        vbase = victim_tag * spl
+                        while dmask:
+                            low = dmask & -dmask
+                            dbitmap[vbase + low.bit_length() - 1] = False
+                            dmask ^= low
                 line = _Line()
                 line.last_use = lp if lru else hp
                 cache_set[tag] = line
@@ -560,6 +775,8 @@ class CacheSim:
             line.valid_mask |= bit
             if anyw:
                 line.dirty_mask |= bit
+                if dbitmap is not None:
+                    dbitmap[sid] = True
             if bitmap is not None:
                 bitmap[sid] = True
         self.stats_misses += misses
@@ -569,7 +786,15 @@ class CacheSim:
             # The generic path changed residency behind the bitmap's
             # back; force a rebuild before the next bitmap-mode batch.
             self._res_stale = True
-        return hits
+        if watch is None:
+            return hits
+        if not watching:
+            return (hits,) + _ew
+        res_pre = run_res[runs_of] | (wsorted > starts[runs_of])
+        cw = np.cumsum(w) - w  # exclusive write count, sorted domain
+        in_run_w = (cw[wsorted] - cw[starts[runs_of]]) > 0
+        dirty_pre = run_dirty[runs_of] | in_run_w
+        return hits, order[wsorted], res_pre, dirty_pre
 
     # -- bypassed stores (write-combining buffer) ----------------------
     def _bypass_batch(self, c_addr: np.ndarray, c_size: np.ndarray) -> None:
@@ -640,6 +865,30 @@ class CacheSim:
                         vmask ^= low
             self._res_bitmap = bitmap
             self._res_stale = False
+
+    def _ensure_dirty(self, max_sector: int) -> None:
+        """Rebuild the dirty bitmap from line state, sized to cover
+        both ``max_sector`` and every currently-dirty line (so
+        eviction clears during the watched batch never index out of
+        range). Unlike the residency bitmap it is not kept fresh
+        between batches — each watched batch rebuilds it, keeping
+        every unwatched path free of maintenance cost."""
+        spl = self.sectors_per_line
+        top = max_sector + 1
+        for cache_set in self._sets:
+            for tag, line in cache_set.items():
+                if line.dirty_mask:
+                    top = max(top, (tag + 1) * spl)
+        bitmap = np.zeros(top, dtype=bool)
+        for cache_set in self._sets:
+            for tag, line in cache_set.items():
+                dmask = line.dirty_mask
+                base = tag * spl
+                while dmask:
+                    low = dmask & -dmask
+                    bitmap[base + low.bit_length() - 1] = True
+                    dmask ^= low
+        self._dirty_bitmap = bitmap
 
     def _ensure_lu_overlay(self, max_tag: int) -> None:
         needed = max_tag + 1

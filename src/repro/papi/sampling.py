@@ -56,6 +56,19 @@ gaps):
 
 Both are exact at period 1 and converge with sample rate
 (monotonically in expectation — property-tested).
+
+The replay has two implementations with bit-identical results. The
+default *vectorized* path collects a whole segment's trigger rows up
+front — array-drawn from the same RNG streams as the scalar path,
+draw for draw — and replays the segment through a single
+:meth:`~repro.machine.cache.CacheSim.access_batch_probed` call (plus
+write-combining slices between bypassed-store samples, a plane that
+is state-independent of the cache). The *scalar* path
+(``vectorized=False``) replays slice-by-slice and probes each sample
+row individually; it is kept as the differential oracle, and the
+vectorized path falls back to it per segment when a row spans
+``n_sets`` or more cache lines (the one geometry where in-batch
+state extraction cannot mirror probe-before-row).
 """
 
 from __future__ import annotations
@@ -74,7 +87,7 @@ from ..engine.envconfig import (
 )
 from ..engine.stream import BatchTrace, StreamDecl, resolve_policies
 from ..errors import SimulationError
-from ..machine.cache import CacheSim, TrafficCounters
+from ..machine.cache import CacheSim, TrafficCounters, expand_to_sectors
 from ..machine.config import CacheConfig
 from ..machine.store import SoftwarePrefetch, StorePolicy
 from ..rng import substream
@@ -219,6 +232,42 @@ class _Channel:
         self.fired += len(out)
         return out
 
+    def triggers_array(self, start: int, end: int) -> np.ndarray:
+        """Vectorized :meth:`triggers`: same positions, *same RNG
+        draws* (one per emitted trigger, in trigger order), returned
+        as an int64 array.
+
+        With jitter the trigger count is not known up front, so gaps
+        are drawn in blocks sized by the worst case: starting from
+        ``pos``, ``(end - 1 - pos) // (period + jitter) + 1`` triggers
+        are guaranteed to land inside ``[start, end)`` even if every
+        gap draws its maximum, so exactly that many gaps are drawn per
+        block — never more than the scalar loop would have.
+        """
+        pos = max(self.next_at, start)
+        if pos >= end:
+            self.next_at = pos
+            return np.empty(0, dtype=np.int64)
+        if not self.jitter:
+            out = np.arange(pos, end, self.period, dtype=np.int64)
+            pos = int(out[-1]) + self.period
+        else:
+            lo = self.period - self.jitter
+            hi = self.period + self.jitter
+            blocks: List[np.ndarray] = []
+            while pos < end:
+                k = (end - 1 - pos) // hi + 1
+                gaps = self.rng.integers(lo, hi + 1, size=k)
+                offsets = np.empty(k, dtype=np.int64)
+                offsets[0] = 0
+                np.cumsum(gaps[:-1], out=offsets[1:])
+                blocks.append(pos + offsets)
+                pos += int(gaps.sum())
+            out = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        self.next_at = pos
+        self.fired += int(out.size)
+        return out
+
 
 class SamplingObserver:
     """Consume trace segments, emitting sampled records + estimators.
@@ -233,8 +282,13 @@ class SamplingObserver:
     def __init__(self, cache: CacheConfig,
                  streams: Iterable[StreamDecl],
                  config: Optional[SamplingConfig] = None,
-                 prefetch: SoftwarePrefetch = SoftwarePrefetch()):
+                 prefetch: SoftwarePrefetch = SoftwarePrefetch(),
+                 vectorized: bool = True):
         self.config = config if config is not None else SamplingConfig()
+        #: Replay implementation: vectorized segment-level replay
+        #: (default) or the scalar slice-per-sample oracle. Both
+        #: produce bit-identical records, counters, and estimates.
+        self.vectorized = bool(vectorized)
         self.sim = CacheSim(cache)
         policies = resolve_policies(list(streams), prefetch)
         self._bypass = {name: policy is StorePolicy.BYPASS
@@ -282,49 +336,29 @@ class SamplingObserver:
         is_write = segment.is_write
         byp = self._bypass_column(segment)
         base = self.accesses_observed
-
-        sample_rows: Dict[int, int] = {}
-
-        def _add(abs_row: int, channel: int) -> None:
-            if abs_row < base + n:
-                sample_rows[abs_row - base] = (
-                    sample_rows.get(abs_row - base, 0) | (1 << channel))
-            else:
-                self._pending.append((abs_row, channel))
-
-        if self._pending:
-            pending, self._pending = self._pending, []
-            for abs_row, channel in pending:
-                _add(abs_row, channel)
-
-        for trigger in self._acc.triggers(base, base + n):
-            _add(self._skidded(trigger), CHANNEL_ACCESS)
         store_rows = np.flatnonzero(is_write)
-        m = int(store_rows.size)
-        for trigger in self._store.triggers(self.stores_observed,
-                                            self.stores_observed + m):
-            row = base + int(store_rows[trigger - self.stores_observed])
-            _add(self._skidded(row), CHANNEL_STORE)
 
-        sim = self.sim
-        pos = 0
-        for p in sorted(sample_rows):
-            if p > pos:
-                sim.access_batch(addr[pos:p], size[pos:p],
-                                 is_write[pos:p],
-                                 None if byp is None else byp[pos:p])
-                self.slices += 1
-            pos = p
-            self._sample(sample_rows[p], base + p, int(addr[p]),
-                         int(size[p]), bool(is_write[p]),
-                         bool(byp[p]) if byp is not None else False,
-                         int(segment.stream_id[p]), segment.streams)
-        if pos < n:
-            sim.access_batch(addr[pos:], size[pos:], is_write[pos:],
-                             None if byp is None else byp[pos:])
-            self.slices += 1
+        if self.vectorized:
+            srows, smask = self._collect_vectorized(n, base, store_rows)
+            if self._span_guard(addr, size):
+                # A row spanning >= n_sets cache lines can self-
+                # interfere (its own early sector's eviction changing
+                # a later sector's set), the one geometry where batch
+                # extraction cannot mirror probe-before-row — see
+                # CacheSim.access_batch_probed. Replay such segments
+                # through the slice path; trigger state is unaffected
+                # since both collectors make the same RNG draws.
+                self._replay_slices(segment, addr, size, is_write,
+                                    byp, base, srows, smask)
+            else:
+                self._replay_vectorized(segment, addr, size, is_write,
+                                        byp, base, srows, smask)
+        else:
+            srows, smask = self._collect_scalar(n, base, store_rows)
+            self._replay_slices(segment, addr, size, is_write, byp,
+                                base, srows, smask)
         self.accesses_observed += n
-        self.stores_observed += m
+        self.stores_observed += int(store_rows.size)
 
     def observe_kernel(self, kernel,
                        target_rows: Optional[int] = None
@@ -365,6 +399,259 @@ class SamplingObserver:
         if per_stream is None or not per_stream.any():
             return None
         return per_stream[segment.stream_id] & segment.is_write
+
+    # ------------------------------------------------- trigger collection
+    def _collect_scalar(self, n: int, base: int,
+                        store_rows: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar trigger collection: one RNG draw per trigger, one
+        per skid. Returns sorted unique local sample rows and their
+        OR-ed channel masks."""
+        sample_rows: Dict[int, int] = {}
+
+        def _add(abs_row: int, channel: int) -> None:
+            if abs_row < base + n:
+                sample_rows[abs_row - base] = (
+                    sample_rows.get(abs_row - base, 0) | (1 << channel))
+            else:
+                self._pending.append((abs_row, channel))
+
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for abs_row, channel in pending:
+                _add(abs_row, channel)
+        for trigger in self._acc.triggers(base, base + n):
+            _add(self._skidded(trigger), CHANNEL_ACCESS)
+        m = int(store_rows.size)
+        for trigger in self._store.triggers(self.stores_observed,
+                                            self.stores_observed + m):
+            row = base + int(store_rows[trigger - self.stores_observed])
+            _add(self._skidded(row), CHANNEL_STORE)
+        srows = np.array(sorted(sample_rows), dtype=np.int64)
+        smask = np.array([sample_rows[p] for p in srows.tolist()],
+                         dtype=np.uint8)
+        return srows, smask
+
+    def _collect_vectorized(self, n: int, base: int,
+                            store_rows: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array trigger collection, draw-for-draw identical to
+        :meth:`_collect_scalar`: acc gaps, acc skids, store gaps,
+        store skids — in that order, block-drawn."""
+        end = base + n
+        rows_parts: List[np.ndarray] = []
+        mask_parts: List[np.ndarray] = []
+        if self._pending:
+            pend_rows: List[int] = []
+            pend_mask: List[int] = []
+            pending, self._pending = self._pending, []
+            for abs_row, channel in pending:
+                if abs_row < end:
+                    pend_rows.append(abs_row - base)
+                    pend_mask.append(1 << channel)
+                else:
+                    self._pending.append((abs_row, channel))
+            if pend_rows:
+                rows_parts.append(np.array(pend_rows, dtype=np.int64))
+                mask_parts.append(np.array(pend_mask, dtype=np.uint8))
+        acc = self._skidded_array(self._acc.triggers_array(base, end))
+        m = int(store_rows.size)
+        st = self._store.triggers_array(self.stores_observed,
+                                        self.stores_observed + m)
+        st = self._skidded_array(base + store_rows[st - self.stores_observed])
+        for rows, channel in ((acc, CHANNEL_ACCESS), (st, CHANNEL_STORE)):
+            if not rows.size:
+                continue
+            inside = rows < end
+            over = rows[~inside]
+            if over.size:
+                self._pending.extend(
+                    (int(r), channel) for r in over.tolist())
+            kept = rows[inside]
+            if kept.size:
+                rows_parts.append(kept - base)
+                mask_parts.append(np.full(kept.size, 1 << channel,
+                                          dtype=np.uint8))
+        if not rows_parts:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.uint8))
+        rows_all = np.concatenate(rows_parts)
+        mask_all = np.concatenate(mask_parts)
+        order = np.argsort(rows_all, kind="stable")
+        rows_all = rows_all[order]
+        mask_all = mask_all[order]
+        bnd = np.empty(rows_all.size, dtype=bool)
+        bnd[0] = True
+        np.not_equal(rows_all[1:], rows_all[:-1], out=bnd[1:])
+        starts = np.flatnonzero(bnd)
+        return rows_all[starts], np.bitwise_or.reduceat(mask_all, starts)
+
+    def _skidded_array(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_skidded` (same draws on the skid RNG)."""
+        cfg = self.config
+        rows = rows + cfg.skid
+        if cfg.skid_jitter and rows.size:
+            rows = rows + self._skid_rng.integers(
+                0, cfg.skid_jitter + 1, size=rows.size)
+        return rows
+
+    def _span_guard(self, addr: np.ndarray, size: np.ndarray) -> bool:
+        """True when some row spans >= n_sets cache lines (vectorized
+        extraction could diverge from probe-before-row; replay the
+        segment through the scalar slice path instead)."""
+        line = self.sim.line_bytes
+        span = (addr + size - 1) // line - addr // line
+        return int(span.max()) >= self.sim.n_sets
+
+    # ---------------------------------------------------------- replay
+    def _replay_slices(self, segment: BatchTrace, addr, size, is_write,
+                       byp, base: int, srows: np.ndarray,
+                       smask: np.ndarray) -> None:
+        """Slice-per-sample replay: advance the replay to each sample
+        row, probe it scalar-wise, continue. The differential oracle
+        for the vectorized replay, and its fallback for segments the
+        span guard rejects."""
+        sim = self.sim
+        n = len(segment)
+        pos = 0
+        for p, channels in zip(srows.tolist(), smask.tolist()):
+            if p > pos:
+                sim.access_batch(addr[pos:p], size[pos:p],
+                                 is_write[pos:p],
+                                 None if byp is None else byp[pos:p])
+                self.slices += 1
+            pos = p
+            self._sample(channels, base + p, int(addr[p]),
+                         int(size[p]), bool(is_write[p]),
+                         bool(byp[p]) if byp is not None else False,
+                         int(segment.stream_id[p]), segment.streams)
+        if pos < n:
+            sim.access_batch(addr[pos:], size[pos:], is_write[pos:],
+                             None if byp is None else byp[pos:])
+            self.slices += 1
+
+    def _replay_vectorized(self, segment: BatchTrace, addr, size,
+                           is_write, byp, base: int, srows: np.ndarray,
+                           smask: np.ndarray) -> None:
+        """Whole-segment replay in two state-independent planes.
+
+        Cached plane: every non-bypassed row goes through one
+        :meth:`CacheSim.access_batch_probed` call with the non-bypassed
+        sample rows as the watch set — the returned per-sector
+        pre-states are exactly what :meth:`CacheSim.probe` would have
+        reported before each sampled row. WCB plane: bypassed stores
+        are applied with :meth:`CacheSim._bypass_batch` slices between
+        bypassed sample rows, each sampled with the same pre-row
+        write-combining walk as the scalar path. Counters and records
+        are then applied in sample-row order, reproducing
+        :meth:`_sample` bit for bit.
+        """
+        sim = self.sim
+        if not srows.size:
+            sim.access_batch(addr, size, is_write, byp)
+            self.slices += 1
+            return
+        s_byp = (byp[srows] if byp is not None
+                 else np.zeros(srows.size, dtype=bool))
+        nonres = np.zeros(srows.size, dtype=np.int64)
+        dirty_new = np.zeros(srows.size, dtype=np.int64)
+        level = np.full(srows.size, LEVEL_CACHE, dtype=np.uint8)
+
+        # Cached plane: all non-bypassed rows, one probed batch.
+        kept_samples = srows[~s_byp]
+        rows_w = None
+        if byp is None:
+            rows_w, res_w, dirty_w = sim.access_batch_probed(
+                addr, size, is_write, kept_samples)
+            watch = kept_samples
+            self.slices += 1
+        else:
+            kept_idx = np.flatnonzero(~byp)
+            watch = np.searchsorted(kept_idx, kept_samples)
+            if kept_idx.size:
+                if kept_samples.size:
+                    rows_w, res_w, dirty_w = sim.access_batch_probed(
+                        addr[kept_idx], size[kept_idx],
+                        is_write[kept_idx], watch)
+                else:
+                    sim.access_batch(addr[kept_idx], size[kept_idx],
+                                     is_write[kept_idx])
+                self.slices += 1
+        if rows_w is not None and rows_w.size:
+            starts = np.searchsorted(rows_w, watch)
+            miss_k = np.add.reduceat((~res_w).astype(np.int64), starts)
+            clean_k = np.add.reduceat((~dirty_w).astype(np.int64),
+                                      starts)
+            kpos = np.flatnonzero(~s_byp)
+            nonres[kpos] = miss_k
+            dirty_new[kpos] = np.where(is_write[kept_samples],
+                                       clean_k, 0)
+            level[kpos] = np.where(miss_k > 0, LEVEL_MEMORY,
+                                   LEVEL_CACHE)
+        level[s_byp] = LEVEL_WCB
+
+        # WCB plane: bypassed stores, sliced at bypassed sample rows.
+        if byp is not None:
+            b_idx = np.flatnonzero(byp)
+            if b_idx.size:
+                granule = sim.granule
+                e_addr, e_size, _, e_rows = expand_to_sectors(
+                    addr[b_idx], size[b_idx], is_write[b_idx], b_idx,
+                    granule)
+                cursor = 0
+                for i in np.flatnonzero(s_byp).tolist():
+                    p = int(srows[i])
+                    j = int(np.searchsorted(e_rows, p))
+                    if j > cursor:
+                        sim._bypass_batch(e_addr[cursor:j],
+                                          e_size[cursor:j])
+                        self.slices += 1
+                    cursor = j
+                    # Pre-row write-combining walk, as in _sample.
+                    wcb_new = 0
+                    a, end_a = int(addr[p]), int(addr[p]) + int(size[p])
+                    while a < end_a:
+                        sector_end = (a // granule + 1) * granule
+                        chunk = min(end_a, sector_end) - a
+                        if sim.wcb_gathered_bytes(a) + chunk >= granule:
+                            wcb_new += 1
+                        a = min(end_a, sector_end)
+                    dirty_new[i] = wcb_new
+                if cursor < e_rows.size:
+                    sim._bypass_batch(e_addr[cursor:], e_size[cursor:])
+                    self.slices += 1
+
+        # Counters and records, in sample-row order.
+        acc_bit = (smask & (1 << CHANNEL_ACCESS)) != 0
+        st_bit = ((smask & (1 << CHANNEL_STORE)) != 0) & is_write[srows]
+        self.n_access_samples += int(np.count_nonzero(acc_bit))
+        self.fetch_sectors += int(nonres[acc_bit].sum())
+        for i in np.flatnonzero(acc_bit & (nonres > 0)).tolist():
+            p = int(srows[i])
+            line_id = int(addr[p]) // sim.line_bytes
+            entry = self._line_fetches.get(line_id)
+            if entry is None:
+                self._line_fetches[line_id] = [
+                    int(nonres[i]),
+                    segment.streams[int(segment.stream_id[p])]]
+            else:
+                entry[0] += int(nonres[i])
+        self.n_store_samples += int(np.count_nonzero(st_bit))
+        self.wcb_events += int(dirty_new[st_bit & s_byp].sum())
+        self.dirty_events += int(dirty_new[st_bit & ~s_byp].sum())
+        space = self.config.max_records - len(self._rec["row"])
+        k = min(max(space, 0), int(srows.size))
+        if k:
+            keep = srows[:k]
+            rec = self._rec
+            rec["row"].extend((base + keep).tolist())
+            rec["addr"].extend(addr[keep].tolist())
+            rec["size"].extend(size[keep].tolist())
+            rec["stream_id"].extend(segment.stream_id[keep].tolist())
+            rec["is_write"].extend(is_write[keep].tolist())
+            rec["level"].extend(level[:k].tolist())
+            rec["channel"].extend(smask[:k].tolist())
+        self.records_dropped += int(srows.size) - k
 
     def _sample(self, channels: int, row: int, addr: int, size: int,
                 is_write: bool, bypassed: bool, stream_id: int,

@@ -1,12 +1,19 @@
-"""Thread pinning policies (one-per-core / compact / scatter)."""
+"""Thread pinning policies (one-per-core / compact / scatter) and the
+operational affinity layer placing real worker processes on CPUs."""
+
+import os
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.machine.affinity import (
+    apply_affinity,
     cores_per_socket,
+    cpu_topology,
     hw_thread_of,
+    parse_cpulist,
     pin_threads,
+    plan_worker_cpus,
 )
 from repro.machine.config import SUMMIT
 
@@ -82,3 +89,87 @@ class TestValidation:
     def test_zero_threads(self, summit_node):
         with pytest.raises(ConfigurationError):
             pin_threads(summit_node, 0)
+
+
+# ----------------------------------------------------------------------
+# Operational layer: placing real worker processes on real CPUs.
+# ----------------------------------------------------------------------
+class TestParseCpulist:
+    def test_ranges_singles_and_dedup(self):
+        assert parse_cpulist("0-3,8,10-11") == [0, 1, 2, 3, 8, 10, 11]
+        assert parse_cpulist(" 2 , 0-1 ,2,\n") == [0, 1, 2]
+        assert parse_cpulist("5") == [5]
+        assert parse_cpulist("") == []
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ValueError, match="descending"):
+            parse_cpulist("3-1")
+
+
+class TestCpuTopology:
+    def _usable(self):
+        return sorted(os.sched_getaffinity(0))
+
+    def test_nodes_partition_usable_cpus(self, tmp_path):
+        usable = self._usable()
+        half = max(1, len(usable) // 2)
+        (tmp_path / "node0").mkdir()
+        (tmp_path / "node0" / "cpulist").write_text(
+            ",".join(map(str, usable[:half])))
+        (tmp_path / "node1").mkdir()
+        (tmp_path / "node1" / "cpulist").write_text(
+            ",".join(map(str, usable[half:])) or "\n")
+        topo = cpu_topology(sys_node_dir=str(tmp_path))
+        flat = sorted(c for cpus in topo.values() for c in cpus)
+        assert flat == usable
+        assert topo[0] == usable[:half]
+
+    def test_unclaimed_cpus_land_on_synthetic_node0(self, tmp_path):
+        # /sys claims CPUs we cannot use, and misses the ones we can.
+        (tmp_path / "node7").mkdir()
+        (tmp_path / "node7" / "cpulist").write_text("999999")
+        topo = cpu_topology(sys_node_dir=str(tmp_path))
+        assert topo == {0: self._usable()}
+
+    def test_missing_sys_dir_degrades_to_node0(self, tmp_path):
+        topo = cpu_topology(sys_node_dir=str(tmp_path / "nope"))
+        assert topo == {0: self._usable()}
+
+
+class TestPlanWorkerCpus:
+    TOPO = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+
+    def test_reserves_producer_cpu_and_packs_by_node(self):
+        plan = plan_worker_cpus(2, topology=self.TOPO)
+        # CPU 0 reserved for the producer; 7 CPUs over 2 workers.
+        assert plan == [[1, 2, 3, 4], [5, 6, 7]]
+
+    def test_exact_fit_skips_producer_reservation(self):
+        plan = plan_worker_cpus(8, topology=self.TOPO)
+        assert plan == [[c] for c in range(8)]
+
+    def test_node_order_is_numeric(self):
+        plan = plan_worker_cpus(2, topology={1: [4, 5], 0: [0, 1]})
+        assert plan == [[1, 4], [5]]  # node 0 first, CPU 0 reserved
+
+    def test_degenerate_cases_return_none(self):
+        assert plan_worker_cpus(0, topology=self.TOPO) is None
+        assert plan_worker_cpus(2, topology={0: [3]}) is None
+        assert plan_worker_cpus(9, topology=self.TOPO) is None
+
+    def test_without_setaffinity_returns_none(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        assert plan_worker_cpus(2, topology=self.TOPO) is None
+
+
+class TestApplyAffinity:
+    def test_empty_cpu_set_is_a_noop(self):
+        assert apply_affinity([]) is False
+
+    def test_pin_to_current_mask_succeeds(self):
+        current = sorted(os.sched_getaffinity(0))
+        assert apply_affinity(current) is True
+        assert sorted(os.sched_getaffinity(0)) == current
+
+    def test_impossible_cpu_swallowed(self):
+        assert apply_affinity([999999]) is False

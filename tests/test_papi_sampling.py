@@ -329,3 +329,177 @@ class TestPipelineTap:
         assert (observer.exact_traffic().write_bytes
                 == traffic.write_bytes)
         assert observer.n_samples > 0
+
+
+# ----------------------------------------------------------------------
+# vectorized replay: bit-identical to the scalar oracle
+# ----------------------------------------------------------------------
+def _pair(kernel, cache, **cfg):
+    """Run the same kernel through both replay implementations."""
+    out = []
+    for vectorized in (False, True):
+        obs = SamplingObserver(cache, kernel.streams(),
+                               SamplingConfig(**cfg),
+                               vectorized=vectorized)
+        obs.observe_kernel(kernel)
+        out.append(obs)
+    return out
+
+
+def _assert_identical(scalar, vector):
+    s_rec, v_rec = scalar.records(), vector.records()
+    for field in ("row", "addr", "size", "stream_id", "is_write",
+                  "level", "channel"):
+        np.testing.assert_array_equal(v_rec[field], s_rec[field], field)
+    for attr in ("n_samples", "n_store_samples", "accesses_observed",
+                 "stores_observed", "records_kept", "records_dropped",
+                 "skid_dropped"):
+        assert getattr(vector, attr) == getattr(scalar, attr), attr
+    assert vector.estimated_traffic() == scalar.estimated_traffic()
+    assert vector.exact_traffic() == scalar.exact_traffic()
+    assert vector.hot_lines(10) == scalar.hot_lines(10)
+
+
+class TestVectorizedReplay:
+    @pytest.mark.parametrize("kernel,cache,cfg", [
+        (Gemm(24), SMALL_CACHE,
+         dict(period=8, seed=3)),
+        (Gemm(24), SMALL_CACHE,
+         dict(period=8, period_jitter=3, store_period=4, store_jitter=1,
+              skid=7, skid_jitter=5, seed=17)),
+        # Bypassed stores: WCB plane + LEVEL_WCB samples.
+        (StreamKernel("triad", 2048), SMALL_CACHE,
+         dict(period=8, store_period=2, skid=3, skid_jitter=2, seed=5)),
+        (StreamKernel("copy", 1024), CacheConfig(capacity_bytes=4 * KIB),
+         dict(period=1, store_period=1, seed=1)),
+        # Record-cap truncation must drop the same tail.
+        (Gemm(24), SMALL_CACHE,
+         dict(period=16, seed=4, max_records=25)),
+    ], ids=["gemm", "gemm-jitter-skid", "triad-wcb", "copy-period1",
+            "max-records"])
+    def test_bit_identical_to_scalar_oracle(self, kernel, cache, cfg):
+        scalar, vector = _pair(kernel, cache, **cfg)
+        _assert_identical(scalar, vector)
+
+    @given(period=st.integers(1, 48),
+           skid=st.integers(0, 40),
+           skid_jitter=st.integers(0, 20),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_bit_identical_under_random_knobs(self, period, skid,
+                                              skid_jitter, seed):
+        jitter = min(period - 1, 3)
+        scalar, vector = _pair(
+            Gemm(16), SMALL_CACHE, period=period, period_jitter=jitter,
+            store_period=max(1, period // 2), skid=skid,
+            skid_jitter=skid_jitter, seed=seed)
+        _assert_identical(scalar, vector)
+
+    def test_wide_rows_take_span_guard_fallback(self):
+        # A row spanning >= n_sets cache lines can self-interfere
+        # within one set, which the batched probe cannot see; such
+        # segments must fall back to the scalar slice replay — and
+        # still match the oracle bit for bit.
+        from repro.engine.stream import BatchTrace, StreamDecl
+
+        tiny = CacheConfig(capacity_bytes=1024, line_bytes=128,
+                           associativity=2)  # 4 sets
+        assert tiny.n_sets == 4
+        rng = np.random.default_rng(42)
+        n = 600
+        trace = BatchTrace(
+            streams=("a",),
+            stream_id=np.zeros(n, dtype=np.int16),
+            addr=rng.integers(0, 1 << 14, size=n),
+            size=rng.integers(700, 1000, size=n),  # spans 6-8 lines
+            is_write=rng.random(n) < 0.3,
+        )
+        decl = StreamDecl(name="a", is_write=False, n_accesses=n,
+                          elem_bytes=8, stride_bytes=8,
+                          footprint_bytes=n * 8)
+        results = []
+        for vectorized in (False, True):
+            obs = SamplingObserver(tiny, [decl],
+                                   SamplingConfig(period=5, skid=2,
+                                                  seed=9),
+                                   vectorized=vectorized)
+            obs.observe(trace)
+            obs.finish()
+            results.append(obs)
+        scalar, vector = results
+        assert vector._span_guard(trace.addr.astype(np.int64),
+                                  trace.size.astype(np.int64))
+        _assert_identical(scalar, vector)
+
+    def test_pending_skids_cross_segment_boundaries(self):
+        # Records skidded past a segment's end must land identically
+        # whatever replay handles the next segment.
+        kernel = Gemm(20)
+        results = []
+        for vectorized in (False, True):
+            obs = SamplingObserver(
+                SMALL_CACHE, kernel.streams(),
+                SamplingConfig(period=6, skid=150, skid_jitter=40,
+                               seed=21),
+                vectorized=vectorized)
+            for segment in kernel.segments(100):
+                obs.observe(segment)
+            obs.finish()
+            results.append(obs)
+        _assert_identical(*results)
+
+    def test_cli_scalar_replay_flag(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        outputs = {}
+        for flag in ([], ["--scalar-replay"]):
+            rc = main(["sample", "--kernel", "gemm", "--size", "16",
+                       "--cache-kib", "16", "--period", "8", "--seed",
+                       "3", "--json"] + flag)
+            assert rc == 0
+            outputs[bool(flag)] = json.loads(capsys.readouterr().out)
+        assert outputs[False]["replay"] == "vectorized"
+        assert outputs[True]["replay"] == "scalar"
+        for key in ("estimated", "exact", "levels", "hot_lines"):
+            assert outputs[False][key] == outputs[True][key]
+
+
+class TestTriggerArrays:
+    @given(seed=st.integers(0, 2**16),
+           period=st.integers(1, 40),
+           jitter_cap=st.integers(0, 10),
+           n_windows=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_array_matches_scalar_draw_for_draw(self, seed, period,
+                                                jitter_cap, n_windows):
+        from repro.papi.sampling import _Channel
+
+        jitter = min(period - 1, jitter_cap)
+        scalar = _Channel(period, jitter, np.random.default_rng(seed))
+        vector = _Channel(period, jitter, np.random.default_rng(seed))
+        bounds_rng = np.random.default_rng(seed + 1)
+        pos = 0
+        for _ in range(n_windows):
+            width = int(bounds_rng.integers(0, 4 * period + 1))
+            got = vector.triggers_array(pos, pos + width)
+            ref = scalar.triggers(pos, pos + width)
+            np.testing.assert_array_equal(got, np.asarray(ref, np.int64))
+            pos += width
+        assert vector.next_at == scalar.next_at
+        assert vector.fired == scalar.fired
+        # Same RNG *state*, not just the same outputs so far: the two
+        # implementations stay interchangeable mid-stream.
+        assert (vector.rng.bit_generator.state
+                == scalar.rng.bit_generator.state)
+
+    def test_empty_window_still_advances_arm(self):
+        from repro.papi.sampling import _Channel
+
+        ch = _Channel(10, 0, np.random.default_rng(0))
+        phase = ch.next_at
+        out = ch.triggers_array(phase + 20, phase + 20)
+        assert out.size == 0
+        assert ch.next_at == phase + 20
+        assert ch.fired == 0

@@ -57,11 +57,24 @@ try:
 except RuntimeError:
     faulted = True
 
+# The resume leg runs with the self-tuning layer on: the nightly also
+# proves the controller at the billion-access scale and exports its
+# tuning trace as a CI artifact.
 resumed_eng = PipelinedExactEngine(cache, n_workers=2,
-                                   checkpoint_dir=ckpt)
+                                   checkpoint_dir=ckpt, autotune=True)
 with resumed_eng:
     results = resumed_eng.run_many(kernels)
 stats = resumed_eng.last_pipeline_stats
+
+with open(sys.argv[2], "w") as fh:
+    json.dump({
+        "autotune": stats["autotune"],
+        "target_occupancy": stats.get("target_occupancy"),
+        "final_segment_rows": stats.get("final_segment_rows"),
+        "mean_ring_occupancy": stats.get("mean_ring_occupancy"),
+        "worker_cpus": stats.get("worker_cpus"),
+        "trace": stats.get("tuning_trace", []),
+    }, fh)
 
 ctx = CacheContext(capacity_bytes=4 * MIB)
 usage = resource.getrusage(resource.RUSAGE_SELF)
@@ -76,7 +89,10 @@ print(json.dumps({
     "triad_n": kernels[1].n,
     "pipeline": {"segments": stats["segments"],
                  "utilization": stats["utilization"],
-                 "mean_queue_depth": stats["mean_queue_depth"]},
+                 "mean_queue_depth": stats["mean_queue_depth"],
+                 "autotune": stats["autotune"],
+                 "final_segment_rows": stats.get("final_segment_rows"),
+                 "tuning_decisions": len(stats.get("tuning_trace", []))},
     "peak_rss_kb": max(usage.ru_maxrss, children.ru_maxrss),
 }))
 """
@@ -87,8 +103,10 @@ def test_billion_access_pipelined_run_resumes_bounded_rss(tmp_path):
     src = Path(__file__).resolve().parent.parent / "src"
     env = dict(os.environ)
     env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    trace_out = tmp_path / "tuning-trace.json"
     proc = subprocess.run(
-        [sys.executable, "-c", _HELPER, str(tmp_path / "ckpt")],
+        [sys.executable, "-c", _HELPER, str(tmp_path / "ckpt"),
+         str(trace_out)],
         env=env, capture_output=True, text=True, timeout=3600,
     )
     assert proc.returncode == 0, proc.stderr[-4000:]
@@ -115,3 +133,11 @@ def test_billion_access_pipelined_run_resumes_bounded_rss(tmp_path):
     trace_mb = report["total_rows"] * 21 / 1e6
     assert rss_mb < trace_mb / 10
     assert rss_mb < 2000, f"peak RSS {rss_mb:.0f} MB not bounded"
+
+    # The resume leg ran autotuned (byte-identical totals asserted
+    # above) and exported its tuning trace for the CI artifact.
+    assert report["pipeline"]["autotune"] is True
+    assert report["pipeline"]["tuning_decisions"] > 0
+    artifact = json.loads(trace_out.read_text())
+    assert artifact["final_segment_rows"] >= 1
+    assert len(artifact["trace"]) == report["pipeline"]["tuning_decisions"]
